@@ -1,0 +1,71 @@
+"""Event-driven sampling baseline (Section 5.3 + footnote 5).
+
+PEBS/DCPI-style samplers produce count-proportional profiles. On lbm,
+all eleven inner-loop loads miss at similar *rates* but nearly all the
+*time* lands on the first (the others hide under it): counting spreads
+the profile evenly and misattributes the bottleneck, while also being
+structurally blind to combined events. TEA's PICS solve both.
+"""
+
+import os
+
+from repro.core.error import pics_error
+from repro.core.event_sampling import impact_profile, replay_event_sampling
+from repro.core.events import Event
+from repro.experiments.runner import format_table
+
+SCALE = float(os.environ.get("TEA_BENCH_SCALE", "1.0"))
+
+
+def test_event_sampling_falls_short(benchmark, runner, emit):
+    def experiment():
+        bench = runner.run("lbm")
+        golden = bench.golden
+        rows = []
+        per_event = {}
+        for event in (Event.ST_L1, Event.ST_LLC, Event.FL_MB):
+            sampler = replay_event_sampling(bench.result, event, 4)
+            if not sampler.raw:
+                continue
+            counts = sampler.profile()
+            impact = impact_profile(golden, event)
+            if impact.total() <= 0:
+                continue
+            error = pics_error(
+                counts, impact, event_mask=1 << event
+            )
+            top = impact.top_units(1)[0]
+            impact_share = impact.height(top) / impact.total()
+            count_share = counts.height(top) / counts.total()
+            per_event[event] = (error, impact_share, count_share)
+            rows.append(
+                [
+                    sampler.name,
+                    f"{error:6.1%}",
+                    f"{impact_share:6.1%}",
+                    f"{count_share:6.1%}",
+                ]
+            )
+        return rows, per_event
+
+    rows, per_event = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    emit(
+        "event_sampling",
+        format_table(
+            [
+                "sampler",
+                "error vs impact",
+                "top-instr impact share",
+                "top-instr count share",
+            ],
+            rows,
+            title="Event-based sampling on lbm: counts != impact "
+            "(Sec 5.3)",
+        ),
+    )
+    error, impact_share, count_share = per_event[Event.ST_LLC]
+    assert impact_share > 0.6  # time concentrates on one load
+    assert count_share < impact_share / 2  # counts spread evenly
+    assert error > 0.4

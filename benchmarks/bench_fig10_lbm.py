@@ -1,0 +1,25 @@
+"""Fig 10: the lbm case study PICS (golden vs TEA vs IBS).
+
+Reproduction target: TEA identifies the performance-critical LLC-missing
+load and matches the golden reference; IBS attributes almost none of the
+time to it.
+"""
+
+from repro.experiments import case_lbm
+
+
+def test_fig10_lbm_pics(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: case_lbm.run(runner, distances=(0,)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig10_lbm", case_lbm.format_fig10(result))
+    pics = result.pics
+    load = pics.critical_load
+    golden_share = pics.golden.height(load) / pics.golden.total()
+    tea_share = pics.tea.height(load) / pics.tea.total()
+    ibs_share = pics.ibs.height(load) / max(pics.ibs.total(), 1e-9)
+    assert golden_share > 0.3  # the load dominates execution time
+    assert abs(tea_share - golden_share) < 0.1  # TEA matches golden
+    assert ibs_share < golden_share / 3  # IBS misses the story

@@ -1,0 +1,23 @@
+"""Fig 11: the lbm software-prefetch distance sweep.
+
+Reproduction target: speedup from prefetching (paper: 1.28x at distance
+3); the critical load's share collapses with distance while store-side
+DR-SQ pressure grows (the bottleneck moves from load latency to store
+bandwidth).
+"""
+
+from repro.experiments import case_lbm
+
+
+def test_fig11_prefetch_sweep(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: case_lbm.run(runner), rounds=1, iterations=1
+    )
+    emit("fig11_prefetch", case_lbm.format_fig11(result))
+    sweep = {p.distance: p for p in result.sweep}
+    assert result.best_speedup > 1.1
+    assert result.best_distance >= 1
+    # Load-latency share collapses once the prefetch covers the miss.
+    assert sweep[4].load_share < sweep[0].load_share / 3
+    # Store-bandwidth pressure (DR-SQ) grows with prefetch distance.
+    assert sweep[4].dr_sq_cycles > sweep[0].dr_sq_cycles

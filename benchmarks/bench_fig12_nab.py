@@ -1,0 +1,24 @@
+"""Fig 12: the nab case study.
+
+Reproduction target: TEA attributes FL-EX flush time to the serializing
+fsflags/frflags-style ops and event-free stall time to the fsqrt whose
+latency they expose; removing them (-finite-math/-fast-math) yields the
+paper's 1.96x-2.45x speedup.
+"""
+
+from repro.experiments import case_nab
+
+
+def test_fig12_nab(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: case_nab.run(runner), rounds=1, iterations=1
+    )
+    emit("fig12_nab", case_nab.format_result(result))
+    assert 1.5 < result.speedup < 3.5  # paper: 1.96x / 2.45x
+    # The fsqrt is performance-critical and TEA reports it faithfully.
+    assert result.fsqrt_share("golden") > 0.1
+    assert abs(
+        result.fsqrt_share("TEA") - result.fsqrt_share("golden")
+    ) < 0.1
+    # The flush cycles sit on the serializing ops.
+    assert result.flush_cycles() > 0

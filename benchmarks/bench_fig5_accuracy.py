@@ -1,0 +1,18 @@
+"""Fig 5: PICS error per benchmark for IBS, SPE, RIS, NCI-TEA, TEA.
+
+Reproduction target: TEA < NCI-TEA << IBS ~= SPE ~= RIS (paper averages
+2.1% / 11.3% / 55.6% / 55.5% / 56.0%).
+"""
+
+from repro.experiments import accuracy
+
+
+def test_fig5_accuracy(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: accuracy.run(runner), rounds=1, iterations=1
+    )
+    emit("fig5_accuracy", accuracy.format_result(result))
+    assert result.average("TEA") < result.average("NCI-TEA") * 1.5
+    assert result.average("TEA") < result.average("IBS") / 3
+    assert result.average("TEA") < result.average("SPE") / 3
+    assert result.average("TEA") < result.average("RIS") / 3

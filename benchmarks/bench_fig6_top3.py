@@ -1,0 +1,33 @@
+"""Fig 6: PICS for the top-3 instructions (golden vs TEA vs IBS) on
+bwaves, omnetpp, fotonik3d, and exchange2.
+
+Reproduction target: TEA's stack heights track the golden reference;
+bwaves/omnetpp show combined cache+TLB components; fotonik3d cache-only.
+"""
+
+from repro.core.psv import is_combined
+from repro.experiments import per_instruction
+
+
+def test_fig6_top3(benchmark, runner, emit):
+    results = benchmark.pedantic(
+        lambda: per_instruction.run(runner), rounds=1, iterations=1
+    )
+    emit("fig6_top3", per_instruction.format_result(results))
+    for name, result in results.items():
+        golden = result.stack_heights("golden")
+        tea = result.stack_heights("TEA")
+        # TEA tracks golden's top-instruction share within a few points.
+        assert abs(golden[0] - tea[0]) < 0.12, name
+
+    def has_combined(profile, indices):
+        return any(
+            is_combined(psv)
+            for i in indices
+            for psv in profile.stacks.get(i, {})
+        )
+
+    bwaves = results["bwaves"]
+    assert has_combined(bwaves.golden, bwaves.top_indices)
+    omnetpp = results["omnetpp"]
+    assert has_combined(omnetpp.golden, omnetpp.top_indices)

@@ -1,0 +1,23 @@
+"""Fig 8: PICS error versus sampling frequency.
+
+Reproduction target: accuracy is insensitive above the baseline
+frequency (errors flat for small periods, rising slowly for large) and
+TEA is the most accurate at every frequency.
+"""
+
+from repro.experiments import frequency
+
+
+def test_fig8_frequency(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: frequency.run(runner), rounds=1, iterations=1
+    )
+    emit("fig8_frequency", frequency.format_result(result))
+    tea = result.mean_errors["TEA"]
+    ibs = result.mean_errors["IBS"]
+    for period in result.periods:
+        assert tea[period] < ibs[period]
+    # Insensitivity: halving the baseline period changes TEA's error
+    # far less than the front-end-tagging gap.
+    fast, base = result.periods[0], result.periods[2]
+    assert abs(tea[fast] - tea[base]) < 0.15

@@ -1,0 +1,29 @@
+"""Section 3-4 overheads: storage, power, run-time, stall coverage, and
+golden-reference data volume.
+
+Reproduction targets: ~242-249 B TEA storage (12 B fetch buffer + 216 B
+ROB dominate, 91.7% share), ~3.2 mW / ~0.1% power, 1.1% run-time at
+4 kHz, and short (paper: p99 = 5.8 cycles) event-free stalls.
+"""
+
+import pytest
+
+from repro.experiments import overheads_exp
+
+
+def test_overheads(benchmark, runner, emit):
+    result = benchmark.pedantic(
+        lambda: overheads_exp.run(runner), rounds=1, iterations=1
+    )
+    emit("overheads", overheads_exp.format_result(result))
+    storage = result.storage
+    assert storage.fetch_buffer_bytes == 12
+    assert storage.rob_bytes == 216
+    assert 240 <= storage.total_bytes <= 250  # paper: 249 B
+    assert storage.rob_and_fetch_buffer_fraction > 0.9  # paper: 91.7%
+    assert result.power.milliwatts == pytest.approx(3.2, rel=0.05)
+    assert result.power.core_fraction < 0.002  # paper: ~0.1%
+    assert result.runtime_overhead_4khz == pytest.approx(0.011)
+    # 99% of event-free commit stalls are short (paper: < 5.8 cycles).
+    assert result.stall_coverage.p99 <= 30
+    assert result.golden_volume.bytes_per_second > 1e9

@@ -1,0 +1,45 @@
+"""Section 3: event-coverage claim -- commit stalls on instructions with
+no tracked event are short, i.e. the nine selected events capture
+everything that can majorly impact performance.
+"""
+
+from repro.core.correlation import merged_stall_coverage
+from repro.experiments.runner import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_stall_coverage(benchmark, runner, emit):
+    def collect():
+        rows = []
+        histograms = []
+        for name in WORKLOAD_NAMES:
+            bench = runner.run(name)
+            histogram = dict(bench.result.stall_histogram)
+            histograms.append(histogram)
+            if histogram:
+                cov = merged_stall_coverage([histogram])
+                rows.append(
+                    [name, str(cov.episodes), f"{cov.p50:.0f}",
+                     f"{cov.p99:.0f}", str(cov.maximum)]
+                )
+        overall = merged_stall_coverage(histograms)
+        return rows, overall
+
+    rows, overall = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows.append(
+        ["ALL", str(overall.episodes), f"{overall.p50:.0f}",
+         f"{overall.p99:.0f}", str(overall.maximum)]
+    )
+    emit(
+        "stall_coverage",
+        format_table(
+            ["benchmark", "episodes", "p50", "p99", "max"],
+            rows,
+            title="Event-free commit-stall lengths "
+            "(paper: 99% < 5.8 cycles)",
+        ),
+    )
+    # The selected events explain all long stalls: event-free stalls
+    # are dominated by execution latencies (FP ops etc.).
+    assert overall.p99 <= 30
+    assert overall.p50 <= 6

@@ -1,0 +1,16 @@
+"""Table 1: the performance events of TEA, IBS, SPE, and RIS."""
+
+from repro.core.events import IBS_EVENTS, RIS_EVENTS, SPE_EVENTS, TEA_EVENTS
+from repro.experiments import tables
+
+
+def test_table1_events(benchmark, emit):
+    text = benchmark.pedantic(
+        tables.format_table1, rounds=1, iterations=1
+    )
+    emit("table1_events", text)
+    # Section 3's storage-bit counts pin the set sizes.
+    assert len(TEA_EVENTS) == 9
+    assert len(IBS_EVENTS) == 6
+    assert len(SPE_EVENTS) == 5
+    assert len(RIS_EVENTS) == 7

@@ -1,0 +1,20 @@
+"""Table 2: the baseline architecture configuration."""
+
+from repro.experiments import tables
+from repro.uarch.config import CoreConfig
+
+
+def test_table2_config(benchmark, emit):
+    text = benchmark.pedantic(
+        tables.format_table2, rounds=1, iterations=1
+    )
+    emit("table2_config", text)
+    cfg = CoreConfig()
+    assert cfg.rob_entries == 192
+    assert cfg.fetch_width == 8
+    assert cfg.fetch_buffer_entries == 48
+    assert cfg.decode_width == 4
+    assert cfg.load_queue_entries + cfg.store_queue_entries == 64
+    assert cfg.memory.l1d_size == 32 * 1024
+    assert cfg.memory.llc_size == 2 * 1024 * 1024
+    assert cfg.memory.l2_tlb_entries == 1024

@@ -1,0 +1,31 @@
+"""TIP vs TEA (paper Sections 1-2 motivation).
+
+Reproduction targets: TIP matches TEA when only instruction-level time
+attribution (Q1) is scored -- both use the TIP attribution policy -- but
+loses all event information (Q2): its full-comparison error equals the
+evented share of execution time.
+"""
+
+from repro.experiments import tip_exp
+from repro.experiments.runner import ExperimentRunner
+
+import os
+
+SCALE = float(os.environ.get("TEA_BENCH_SCALE", "1.0"))
+PERIOD = int(os.environ.get("TEA_BENCH_PERIOD", "293"))
+
+
+def test_tip_vs_tea(benchmark, emit):
+    runner = ExperimentRunner(
+        scale=SCALE, period=PERIOD, techniques=("TEA", "TIP")
+    )
+    result = benchmark.pedantic(
+        lambda: tip_exp.run(runner), rounds=1, iterations=1
+    )
+    emit("tip_vs_tea", tip_exp.format_result(result))
+    # Q1: same attribution policy, statistically identical accuracy.
+    assert abs(
+        result.mean("q1", "TIP") - result.mean("q1", "TEA")
+    ) < 0.03
+    # Q2: TIP's Base-only stacks miss every event component.
+    assert result.mean("full", "TIP") > result.mean("full", "TEA") + 0.2

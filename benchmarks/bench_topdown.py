@@ -1,0 +1,34 @@
+"""Top-Down baseline (related work, Section 7).
+
+The paper argues Top-Down-style classification is "a restricted form of
+a cycle stack": it labels the dominant bottleneck kind but cannot
+localise it. This bench (i) classifies every benchmark, checking that
+the labels match each kernel's designed behaviour, and (ii) demonstrates
+the restriction on the nab case study: Top-Down reports backend/bad-
+speculation pressure, while TEA's PICS name the fsqrt and the
+serializing ops.
+"""
+
+from repro.core.topdown import format_top_down, top_down
+from repro.workloads import WORKLOAD_NAMES
+
+
+def test_topdown_classification(benchmark, runner, emit):
+    def compute():
+        return {
+            name: top_down(runner.run(name).result)
+            for name in WORKLOAD_NAMES
+        }
+
+    breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("topdown", format_top_down(breakdowns))
+    # The coarse labels match the kernels' designed characters...
+    assert breakdowns["gcc"].dominant == "frontend_bound"
+    assert breakdowns["lbm"].dominant == "backend_bound"
+    assert breakdowns["omnetpp"].dominant == "backend_bound"
+    assert breakdowns["exchange2"].retiring > 0.25
+    assert breakdowns["perlbench"].bad_speculation > 0.1
+    # ...but the same label covers very different problems: lbm (LLC
+    # misses) and nab (exposed fsqrt latency) are both "backend bound",
+    # and only PICS distinguish them (see fig10/fig12 benches).
+    assert breakdowns["nab"].dominant == "backend_bound"

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`ExperimentRunner` is shared across every bench so each
+benchmark program is simulated exactly once per session (the paper's
+out-of-band methodology). Scale and period can be overridden through
+the ``TEA_BENCH_SCALE`` / ``TEA_BENCH_PERIOD`` environment variables.
+
+Each bench prints the regenerated table/figure and also writes it to
+``results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.frequency import SWEEP_PERIODS
+from repro.experiments.runner import DEFAULT_PERIOD, ExperimentRunner
+
+SCALE = float(os.environ.get("TEA_BENCH_SCALE", "1.0"))
+PERIOD = int(os.environ.get("TEA_BENCH_PERIOD", str(DEFAULT_PERIOD)))
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """The shared experiment runner (includes the Fig 8 sweep periods
+    so one simulation serves every experiment)."""
+    return ExperimentRunner(
+        scale=SCALE, period=PERIOD, extra_periods=SWEEP_PERIODS
+    )
+
+
+@pytest.fixture(scope="session")
+def dispatch_runner():
+    """Runner for the dispatch-TEA ablation (different technique set)."""
+    return ExperimentRunner(
+        scale=SCALE, period=PERIOD,
+        techniques=("TEA", "TEA-dispatch", "IBS"),
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a regenerated artefact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

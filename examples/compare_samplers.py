@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare TEA against NCI-TEA, IBS, SPE, and RIS on one benchmark.
+
+Reproduces the paper's core claim on a single workload: front-end
+tagging (IBS/SPE/RIS) produces misleading PICS because it is not
+time-proportional, while TEA matches the (unimplementable) golden
+reference. Pass a workload name to try others.
+
+Run:  python examples/compare_samplers.py [workload] [scale]
+"""
+
+import sys
+
+from repro import event_mask, make_sampler, pics_error, render_comparison, simulate
+from repro.workloads import WORKLOAD_NAMES, build
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "omnetpp"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(WORKLOAD_NAMES)}"
+        )
+
+    workload = build(name, scale=scale)
+    samplers = [
+        make_sampler(technique, period=293, seed=1000 + i)
+        for i, technique in enumerate(
+            ("TEA", "NCI-TEA", "IBS", "SPE", "RIS")
+        )
+    ]
+    print(f"simulating {name} with all five techniques attached "
+          "(one run, out-of-band sampling)...")
+    result = simulate(
+        workload.program, samplers=samplers,
+        arch_state=workload.fresh_state(),
+    )
+    golden = result.golden_profile()
+
+    print(f"\n{name}: {result.cycles:,} cycles, IPC {result.ipc:.2f}, "
+          f"{result.flushes.total} flushes\n")
+    print(f"{'technique':10s} {'PICS error':>10s}  (vs event-set-matched "
+          "golden reference)")
+    for sampler in samplers:
+        error = pics_error(
+            sampler.profile(), golden, event_mask(sampler.events)
+        )
+        print(f"{sampler.name:10s} {error:>9.1%}")
+
+    top = golden.top_units(1)[0]
+    print("\nThe most performance-critical instruction, as seen by the "
+          "golden reference, TEA, and IBS:\n")
+    print(render_comparison(
+        [golden, samplers[0].profile(), samplers[2].profile()],
+        top,
+        program=workload.program,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Per-core PICS under shared-LLC interference (multicore extension).
+
+Co-runs an LLC-friendly victim (leela) with a streaming aggressor (lbm)
+on a two-core system sharing the LLC and DRAM channel, with a TEA
+sampler on each core. The victim's PICS show exactly which of its
+instructions pay for the contention — per-instruction insight that
+aggregate miss counters cannot give.
+
+Run:  python examples/interference_analysis.py [scale]
+"""
+
+import sys
+
+from repro import make_sampler, render_top, simulate
+from repro.uarch.multicore import CoreSlot, MultiCoreSystem
+from repro.workloads import build
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+
+    print("=== solo: leela alone on the machine ===\n")
+    solo_wl = build("leela", scale=scale)
+    solo_tea = make_sampler("TEA", 293)
+    solo = simulate(
+        solo_wl.program, samplers=[solo_tea],
+        arch_state=solo_wl.fresh_state(),
+    )
+    print(render_top(solo_tea.profile(), n=2, program=solo_wl.program))
+
+    print("\n=== co-run: leela + lbm sharing LLC and DRAM ===\n")
+    victim_tea = make_sampler("TEA", 293)
+    aggressor_tea = make_sampler("TEA", 293, seed=99)
+    system = MultiCoreSystem(
+        [
+            CoreSlot(build("leela", scale=scale), [victim_tea]),
+            CoreSlot(build("lbm", scale=scale), [aggressor_tea]),
+        ]
+    )
+    victim, aggressor = system.run()
+
+    print(render_top(victim_tea.profile(), n=2,
+                     program=victim.program))
+    print(
+        f"\nvictim slowdown: {victim.cycles / solo.cycles:.2f}x "
+        f"({solo.cycles:,} -> {victim.cycles:,} cycles)"
+    )
+    print(
+        "The same table probe now spends its time in ST-LLC-bearing "
+        "categories: lbm's streams evict leela's tree from the shared "
+        "LLC. The aggressor's own PICS are nearly unchanged -- it never "
+        "reused those lines anyway."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The lbm case study: tune a software-prefetch distance with TEA.
+
+Walks through the paper's Section 6 workflow:
+
+1. Profile lbm with TEA: the PICS identify one LLC-missing load as the
+   bottleneck (Q1) and show that its latency is not hidden (Q2).
+2. Insert software prefetches and sweep the distance: the load's share
+   collapses, store-bandwidth pressure (DR-SQ) grows, and the speedup
+   peaks where the two balance (paper: distance 3, 1.28x).
+
+Run:  python examples/lbm_prefetch_tuning.py [scale]
+"""
+
+import sys
+
+from repro import make_sampler, render_top, simulate
+from repro.core.events import Event
+from repro.core.psv import psv_has
+from repro.workloads import build
+
+
+def profile(workload):
+    tea = make_sampler("TEA", period=293)
+    result = simulate(
+        workload.program, samplers=[tea],
+        arch_state=workload.fresh_state(),
+    )
+    return result, tea.profile()
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    print("=== step 1: profile the original binary ===\n")
+    base = build("lbm", scale=scale)
+    base_result, base_pics = profile(base)
+    print(render_top(base_pics, n=3, program=base.program))
+    print(
+        "\nTEA's verdict: one load dominates with an ST-L1+ST-LLC "
+        "signature -- its working set exceeds the LLC and the deep FP "
+        "loop body fills the ROB, so the next iteration's loads cannot "
+        "issue early. Software prefetching is the fix.\n"
+    )
+
+    print("=== step 2: sweep the prefetch distance ===\n")
+    print(f"{'distance':>8s} {'cycles':>10s} {'speedup':>8s} "
+          f"{'DR-SQ share':>12s}")
+    best = (0, 1.0)
+    for distance in range(0, 7):
+        workload = (
+            base if distance == 0
+            else build("lbm", scale=scale, prefetch_distance=distance)
+        )
+        result, pics = profile(workload)
+        speedup = base_result.cycles / result.cycles
+        dr_sq = sum(
+            cycles
+            for stack in pics.stacks.values()
+            for psv, cycles in stack.items()
+            if psv_has(psv, Event.DR_SQ)
+        ) / pics.total()
+        print(f"{distance:>8d} {result.cycles:>10,d} {speedup:>7.2f}x "
+              f"{dr_sq:>11.1%}")
+        if speedup > best[1]:
+            best = (distance, speedup)
+
+    print(
+        f"\nbest distance: {best[0]} (speedup {best[1]:.2f}x). Larger "
+        "distances stop helping: the bottleneck has moved from load "
+        "latency to store bandwidth, visible as the growing DR-SQ share "
+        "-- exactly the trade-off of the paper's Fig 11."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The nab case study: explain an exposed fsqrt latency with TEA.
+
+Reproduces the paper's Section 6 nab analysis: the PICS show the
+serializing fsflags/frflags-style ops carrying FL-EX flush cycles and an
+event-free stall on the fsqrt. Because TEA is trustworthy, the developer
+can conclude no cache/TLB/branch event is to blame -- the flushes
+prevent the fsqrt from issuing early. Compiling with -finite-math /
+-fast-math removes the flushes (paper speedups: 1.96x / 2.45x).
+
+Run:  python examples/nab_flush_analysis.py [scale]
+"""
+
+import sys
+
+from repro import make_sampler, render_top, simulate
+from repro.isa.opcodes import Opcode
+from repro.workloads import build
+
+
+def profile(workload):
+    tea = make_sampler("TEA", period=293)
+    result = simulate(
+        workload.program, samplers=[tea],
+        arch_state=workload.fresh_state(),
+    )
+    return result, tea.profile()
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    print("=== IEEE-754-compliant build (with fsflags/frflags) ===\n")
+    strict = build("nab", scale=scale)
+    strict_result, strict_pics = profile(strict)
+    print(render_top(strict_pics, n=4, program=strict.program))
+
+    fsqrt = next(
+        i.index for i in strict.program if i.op == Opcode.FSQRT
+    )
+    share = strict_pics.height(fsqrt) / strict_pics.total()
+    print(
+        f"\nThe fsqrt (instruction {fsqrt}) carries {share:.1%} of "
+        "execution time with NO event bits set: its 24-cycle latency is "
+        "simply not hidden, because the serializing ops right before it "
+        "flush the pipeline (their stacks are pure FL-EX).\n"
+    )
+
+    print("=== -fast-math build (serializing ops removed) ===\n")
+    fast = build("nab", scale=scale, fast_math=True)
+    fast_result, fast_pics = profile(fast)
+    print(render_top(fast_pics, n=3, program=fast.program))
+
+    speedup = strict_result.cycles / fast_result.cycles
+    print(
+        f"\nspeedup: {speedup:.2f}x (paper: 1.96x with -finite-math, "
+        "2.45x with -fast-math). Without flushes the out-of-order engine "
+        "overlaps independent iterations and hides the fsqrt latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The full tool loop: profile -> advise -> optimise -> diff -> re-advise.
+
+Walks lbm through the complete workflow a downstream user would follow:
+
+1. profile with TEA and ask the advisor what to do;
+2. apply its suggestion (software prefetching, the paper's fix);
+3. diff the two profiles to see exactly where the time went;
+4. re-advise: the bottleneck has moved to store bandwidth -- the
+   advisor now says so, closing the Fig 11 narrative.
+
+Run:  python examples/optimization_workflow.py [scale]
+"""
+
+import sys
+
+from repro import make_sampler, simulate
+from repro.core.advisor import advise, render_findings
+from repro.core.diff import diff_profiles, render_diff
+from repro.workloads import build
+
+
+def profile(workload, period=293):
+    tea = make_sampler("TEA", period)
+    result = simulate(
+        workload.program, samplers=[tea],
+        arch_state=workload.fresh_state(),
+    )
+    return result, tea.profile()
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+    print("=== 1. profile the original and ask the advisor ===\n")
+    base = build("lbm", scale=scale)
+    base_result, base_profile = profile(base)
+    findings = advise(base_profile, base.program)
+    print(render_findings(findings[:1], base.program))
+
+    print("\n=== 2. apply the advice: software prefetch, distance 3 ===")
+
+    print("\n=== 3. diff the profiles ===\n")
+    optimised = build("lbm", scale=scale, prefetch_distance=3)
+    opt_result, opt_profile = profile(optimised)
+    diff = diff_profiles(base_profile, opt_profile)
+    print(
+        render_diff(
+            diff, n=6, before_name="lbm", after_name="lbm-pf3"
+        )
+    )
+
+    print("\n=== 4. re-advise the optimised binary ===\n")
+    findings = advise(opt_profile, optimised.program)
+    print(render_findings(findings[:1], optimised.program))
+
+    print(
+        f"\nspeedup achieved: "
+        f"{base_result.cycles / opt_result.cycles:.2f}x "
+        "(paper: 1.28x at distance 3). The advisor's next finding is "
+        "store bandwidth -- further gains need fewer written bytes, "
+        "not deeper prefetching, exactly the Fig 11 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-build-isolation` (and plain
+`python setup.py develop`) to work offline with older setuptools; all
+project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Branch-prediction substrate: gshare direction predictor, BTB, and RAS."""
+
+from repro.branch.predictor import (
+    BranchPredictor,
+    BranchPredictorConfig,
+    BranchStats,
+)
+
+__all__ = ["BranchPredictor", "BranchPredictorConfig", "BranchStats"]

@@ -1,0 +1,404 @@
+"""Command-line entry point.
+
+Regenerate paper artefacts::
+
+    tea-repro fig5 [--scale 1.0] [--period 293]
+    tea-repro fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
+    tea-repro table1 | table2 | overheads
+    tea-repro ablation-dispatch | ablation-events
+    tea-repro all
+
+Use the library as a profiler/tool::
+
+    tea-repro profile lbm --technique TEA --top 5
+    tea-repro profile nab --granularity function
+    tea-repro diff lbm lbm:prefetch_distance=3
+    tea-repro figures --out results/figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.diff import diff_profiles, render_diff
+from repro.core.pics import Granularity
+from repro.core.samplers import make_sampler
+from repro.core.report import render_top
+from repro.experiments import ExperimentRunner
+from repro.experiments import (
+    ablation,
+    accuracy,
+    case_lbm,
+    case_nab,
+    correlation_exp,
+    frequency,
+    granularity,
+    per_instruction,
+    tables,
+)
+from repro.uarch.core import simulate
+from repro.workloads import WORKLOAD_NAMES, build
+
+
+# ----------------------------------------------------------------------
+# Paper-artefact regenerators.
+# ----------------------------------------------------------------------
+def _fig5(runner):
+    return accuracy.format_result(accuracy.run(runner))
+
+
+def _fig6(runner):
+    return per_instruction.format_result(per_instruction.run(runner))
+
+
+def _fig7(runner):
+    return correlation_exp.format_result(correlation_exp.run(runner))
+
+
+def _fig8(runner):
+    sweep_runner = ExperimentRunner(
+        scale=runner.scale,
+        period=runner.period,
+        extra_periods=frequency.SWEEP_PERIODS,
+    )
+    return frequency.format_result(frequency.run(sweep_runner))
+
+
+def _fig9(runner):
+    return granularity.format_result(granularity.run(runner))
+
+
+def _fig10(runner):
+    return case_lbm.format_fig10(case_lbm.run(runner))
+
+
+def _fig11(runner):
+    return case_lbm.format_fig11(case_lbm.run(runner))
+
+
+def _fig12(runner):
+    return case_nab.format_result(case_nab.run(runner))
+
+
+def _fig3(runner):
+    from repro.core.events import render_all_hierarchies
+
+    return (
+        "Fig 3: commit-state performance-event hierarchies\n\n"
+        + render_all_hierarchies()
+    )
+
+
+def _table1(runner):
+    return tables.format_table1()
+
+
+def _table2(runner):
+    return tables.format_table2()
+
+
+def _overheads(runner):
+    from repro.experiments import overheads_exp
+
+    return overheads_exp.format_result(overheads_exp.run(runner))
+
+
+def _ablation_dispatch(runner):
+    dispatch_runner = ExperimentRunner(
+        scale=runner.scale,
+        period=runner.period,
+        techniques=("TEA", "TEA-dispatch", "IBS"),
+    )
+    return ablation.format_dispatch_tea(
+        ablation.run_dispatch_tea(dispatch_runner)
+    )
+
+
+def _ablation_events(runner):
+    return ablation.format_event_sets(ablation.run_event_sets(runner))
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig3": _fig3,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "overheads": _overheads,
+    "ablation-dispatch": _ablation_dispatch,
+    "ablation-events": _ablation_events,
+}
+
+
+# ----------------------------------------------------------------------
+# Tool commands.
+# ----------------------------------------------------------------------
+def parse_workload_spec(spec: str, scale: float):
+    """Parse ``name[:key=value,...]`` or a ``.asm`` path into a workload.
+
+    Values are parsed as int, then float, then bool, then kept as str.
+
+    Raises:
+        SystemExit: On unknown workload names or malformed specs.
+    """
+    if spec.endswith(".asm"):
+        from pathlib import Path
+
+        from repro.isa.asmtext import parse_asm
+        from repro.isa.interpreter import ArchState
+        from repro.workloads.base import Workload
+
+        path = Path(spec)
+        if not path.exists():
+            raise SystemExit(f"no such assembly file: {spec}")
+        program = parse_asm(path.read_text(), path.stem)
+        return Workload(
+            name=path.stem,
+            program=program,
+            state_builder=ArchState,
+            description=f"assembled from {spec}",
+        )
+    name, _, args_text = spec.partition(":")
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(WORKLOAD_NAMES)}"
+        )
+    kwargs = {}
+    if args_text:
+        for item in args_text.split(","):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise SystemExit(f"bad workload argument {item!r}")
+            for parser in (int, float):
+                try:
+                    value = parser(value)
+                    break
+                except ValueError:
+                    continue
+            else:
+                if value in ("true", "True"):
+                    value = True
+                elif value in ("false", "False"):
+                    value = False
+            kwargs[key] = value
+    return build(name, scale=scale, **kwargs)
+
+
+def _profile_workload(workload, technique: str, period: int):
+    sampler = make_sampler(technique, period)
+    result = simulate(
+        workload.program,
+        samplers=[sampler],
+        arch_state=workload.fresh_state(),
+    )
+    return result, sampler
+
+
+def cmd_profile(args) -> int:
+    """``tea-repro profile <workload> ...``: print a PICS profile."""
+    workload = parse_workload_spec(args.workload, args.scale)
+    result, sampler = _profile_workload(
+        workload, args.technique, args.period
+    )
+    profile = sampler.profile()
+    level = Granularity(args.granularity)
+    if level != Granularity.INSTRUCTION:
+        profile = profile.aggregate(workload.program, level)
+    print(
+        f"{workload.name}: {result.cycles:,} cycles, "
+        f"{result.committed:,} instructions (IPC {result.ipc:.2f}), "
+        f"{sampler.samples_taken} samples\n"
+    )
+    print(render_top(profile, n=args.top, program=workload.program))
+    if args.stats:
+        from repro.uarch.summary import render_summary
+
+        print("\n" + render_summary(result))
+    else:
+        stack = result.cpi_stack()
+        print(
+            "\ncommit-state cycle stack: "
+            + ", ".join(
+                f"{state.name.lower()} {share:.1%}"
+                for state, share in stack.items()
+            )
+        )
+    return 0
+
+
+def cmd_advise(args) -> int:
+    """``tea-repro advise <workload>``: rule-based recommendations."""
+    from repro.core.advisor import advise, render_findings
+
+    workload = parse_workload_spec(args.workload, args.scale)
+    result, sampler = _profile_workload(workload, "TEA", args.period)
+    findings = advise(
+        sampler.profile(), workload.program, threshold=args.threshold
+    )
+    print(
+        f"{workload.name}: {result.cycles:,} cycles, "
+        f"{len(findings)} finding(s)\n"
+    )
+    print(render_findings(findings, workload.program))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """``tea-repro diff <before> <after>``: compare two profiles."""
+    before_wl = parse_workload_spec(args.before, args.scale)
+    after_wl = parse_workload_spec(args.after, args.scale)
+    _, before_sampler = _profile_workload(
+        before_wl, args.technique, args.period
+    )
+    _, after_sampler = _profile_workload(
+        after_wl, args.technique, args.period
+    )
+    diff = diff_profiles(
+        before_sampler.profile(), after_sampler.profile()
+    )
+    program = (
+        before_wl.program
+        if len(before_wl.program) == len(after_wl.program)
+        else None
+    )
+    print(
+        render_diff(
+            diff,
+            n=args.top,
+            program=program,
+            before_name=before_wl.name,
+            after_name=after_wl.name,
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """``tea-repro figures``: render every paper figure as SVG."""
+    from repro.viz.figures import render_all
+
+    runner = ExperimentRunner(scale=args.scale, period=args.period)
+    written = render_all(runner, args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="tea-repro",
+        description="Reproduction of 'TEA: Time-Proportional Event "
+        "Analysis' (ISCA 2023).",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--period", type=int, default=293,
+        help="sampling period in cycles (default 293)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile a workload and print its PICS"
+    )
+    profile_parser.add_argument(
+        "workload", help="workload spec, e.g. lbm or nab:fast_math=true"
+    )
+    profile_parser.add_argument(
+        "--technique", default="TEA",
+        choices=["TEA", "TIP", "NCI-TEA", "IBS", "SPE", "RIS"],
+    )
+    profile_parser.add_argument(
+        "--granularity", default="instruction",
+        choices=[g.value for g in Granularity],
+    )
+    profile_parser.add_argument("--top", type=int, default=10)
+    profile_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the full machine-statistics summary",
+    )
+
+    advise_parser = sub.add_parser(
+        "advise",
+        help="profile a workload and print optimisation recommendations",
+    )
+    advise_parser.add_argument(
+        "workload", help="workload spec or .asm file"
+    )
+    advise_parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="minimum share of time per finding (default 0.05)",
+    )
+
+    diff_parser = sub.add_parser(
+        "diff", help="diff the PICS of two workload variants"
+    )
+    diff_parser.add_argument("before", help="baseline workload spec")
+    diff_parser.add_argument("after", help="changed workload spec")
+    diff_parser.add_argument(
+        "--technique", default="TEA",
+        choices=["TEA", "TIP", "NCI-TEA", "IBS", "SPE", "RIS"],
+    )
+    diff_parser.add_argument("--top", type=int, default=10)
+
+    figures_parser = sub.add_parser(
+        "figures", help="render all paper figures as SVG"
+    )
+    figures_parser.add_argument(
+        "--out", default="results/figures", help="output directory"
+    )
+
+    report_parser = sub.add_parser(
+        "report", help="run everything and write one Markdown report"
+    )
+    report_parser.add_argument(
+        "--out", default="results/REPORT.md", help="output file"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "advise":
+        return cmd_advise(args)
+    if args.command == "diff":
+        return cmd_diff(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    if args.command == "report":
+        from repro.experiments.report_all import write_report
+
+        runner = ExperimentRunner(scale=args.scale, period=args.period)
+        path = write_report(runner, args.out)
+        print(f"wrote {path}")
+        return 0
+
+    runner = ExperimentRunner(scale=args.scale, period=args.period)
+    names = (
+        sorted(EXPERIMENTS) if args.command == "all"
+        else [args.command]
+    )
+    for name in names:
+        start = time.time()
+        print(EXPERIMENTS[name](runner))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""Optimisation advisor: turn PICS into actionable recommendations.
+
+The paper's case studies follow a recipe a human expert applies to PICS:
+find the tall stacks, read their signatures, and map signature patterns
+to known remedies (ST-LLC-dominated load -> software prefetching; FL-EX
+on CSR ops before an FP op -> relax IEEE-754 compliance; DR-SQ on stores
+-> store-bandwidth work; ...). This module encodes that recipe as an
+auditable rule set over a :class:`~repro.core.pics.PicsProfile`, closing
+the loop from measurement to suggestion. Each finding names the
+instructions involved, the share of execution time at stake, and the
+remedy -- with the lbm/nab rules reproducing the paper's own advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.events import Event
+from repro.core.pics import PicsProfile
+from repro.core.psv import psv_has
+from repro.isa.opcodes import (
+    MEMORY_READ_OPS,
+    MEMORY_WRITE_OPS,
+    OpClass,
+    Opcode,
+)
+from repro.isa.program import Program
+
+
+@dataclass
+class Finding:
+    """One recommendation."""
+
+    rule: str
+    severity: float  # share of total execution time at stake
+    units: list[Hashable]  # implicated instruction indices
+    explanation: str
+    suggestion: str
+
+    def render(self, program: Program | None = None) -> str:
+        """One human-readable block."""
+        def label(unit):
+            if program is not None and isinstance(unit, int):
+                return f"[{unit}] {program[unit].disasm()}"
+            return str(unit)
+
+        instr = ", ".join(label(u) for u in self.units[:4])
+        more = (
+            f" (+{len(self.units) - 4} more)"
+            if len(self.units) > 4
+            else ""
+        )
+        return (
+            f"{self.rule} -- {self.severity:.1%} of execution time\n"
+            f"  where: {instr}{more}\n"
+            f"  why:   {self.explanation}\n"
+            f"  try:   {self.suggestion}"
+        )
+
+
+def _share_with(
+    profile: PicsProfile, unit: Hashable, event: Event
+) -> float:
+    """Fraction of a unit's stack carrying *event*."""
+    stack = profile.stacks.get(unit, {})
+    height = sum(stack.values())
+    if not height:
+        return 0.0
+    return (
+        sum(c for psv, c in stack.items() if psv_has(psv, event))
+        / height
+    )
+
+
+def advise(
+    profile: PicsProfile,
+    program: Program,
+    threshold: float = 0.05,
+) -> list[Finding]:
+    """Analyse an instruction-granularity profile and emit findings.
+
+    Args:
+        profile: An instruction-granularity PICS profile.
+        program: The profiled program (for opcode context).
+        threshold: Minimum share of total time a pattern must hold.
+
+    Returns:
+        Findings sorted by severity (largest first).
+    """
+    total = profile.total()
+    if total <= 0:
+        return []
+    findings: list[Finding] = []
+
+    def units_where(predicate) -> list[int]:
+        return [
+            int(unit)
+            for unit in profile.units()
+            if isinstance(unit, int) and predicate(int(unit))
+        ]
+
+    def severity(units) -> float:
+        return sum(profile.height(u) for u in units) / total
+
+    # Rule 1 (the lbm rule): loads dominated by LLC misses.
+    llc_loads = units_where(
+        lambda i: program[i].op in MEMORY_READ_OPS
+        and _share_with(profile, i, Event.ST_LLC) > 0.5
+    )
+    if llc_loads and severity(llc_loads) >= threshold:
+        findings.append(
+            Finding(
+                rule="llc-missing-loads",
+                severity=severity(llc_loads),
+                units=sorted(
+                    llc_loads, key=profile.height, reverse=True
+                ),
+                explanation=(
+                    "These loads' exposed latency is dominated by LLC "
+                    "misses the out-of-order window cannot hide."
+                ),
+                suggestion=(
+                    "Software-prefetch the lines several iterations "
+                    "ahead (sweep the distance: too far shifts the "
+                    "bottleneck to store bandwidth), improve reuse, or "
+                    "shrink the working set."
+                ),
+            )
+        )
+
+    # Rule 2: L1-missing, LLC-hitting loads (locality, not capacity).
+    l1_loads = units_where(
+        lambda i: program[i].op in MEMORY_READ_OPS
+        and _share_with(profile, i, Event.ST_L1) > 0.5
+        and _share_with(profile, i, Event.ST_LLC) < 0.3
+    )
+    if l1_loads and severity(l1_loads) >= threshold:
+        findings.append(
+            Finding(
+                rule="l1-missing-loads",
+                severity=severity(l1_loads),
+                units=sorted(l1_loads, key=profile.height, reverse=True),
+                explanation=(
+                    "These loads hit the LLC but miss the L1D: the "
+                    "working set has L2-level locality only."
+                ),
+                suggestion=(
+                    "Block/tile the data to L1 size, or restructure "
+                    "access order for spatial locality."
+                ),
+            )
+        )
+
+    # Rule 3: TLB-bound accesses.
+    tlb_units = units_where(
+        lambda i: _share_with(profile, i, Event.ST_TLB) > 0.4
+    )
+    if tlb_units and severity(tlb_units) >= threshold:
+        findings.append(
+            Finding(
+                rule="tlb-pressure",
+                severity=severity(tlb_units),
+                units=sorted(
+                    tlb_units, key=profile.height, reverse=True
+                ),
+                explanation=(
+                    "A large share of these accesses' time is D-TLB "
+                    "refill (page-granularity working set too large or "
+                    "too scattered)."
+                ),
+                suggestion=(
+                    "Use huge pages, linearise the traversal order, or "
+                    "pack hot data onto fewer pages."
+                ),
+            )
+        )
+
+    # Rule 4 (the nab rule): serializing ops flushing the pipeline.
+    serial_units = units_where(
+        lambda i: program[i].op == Opcode.SERIAL
+        and _share_with(profile, i, Event.FL_EX) > 0.5
+    )
+    if serial_units and severity(serial_units) >= threshold:
+        findings.append(
+            Finding(
+                rule="serializing-flushes",
+                severity=severity(serial_units),
+                units=serial_units,
+                explanation=(
+                    "Serializing (CSR/exception-masking) operations "
+                    "flush the pipeline every execution and also expose "
+                    "the latency of the instructions that follow them."
+                ),
+                suggestion=(
+                    "Check whether the serialization is required "
+                    "(e.g. IEEE-754 NaN handling): -ffinite-math-only / "
+                    "-ffast-math removed it in the paper's nab study "
+                    "for 1.96-2.45x."
+                ),
+            )
+        )
+
+    # Rule 5: store-bandwidth pressure.
+    sq_units = units_where(
+        lambda i: program[i].op in MEMORY_WRITE_OPS
+        and _share_with(profile, i, Event.DR_SQ) > 0.4
+    )
+    if sq_units and severity(sq_units) >= threshold:
+        findings.append(
+            Finding(
+                rule="store-bandwidth",
+                severity=severity(sq_units),
+                units=sorted(sq_units, key=profile.height, reverse=True),
+                explanation=(
+                    "Stores stall at dispatch behind a full store "
+                    "queue: the program is limited by store/write-"
+                    "allocate bandwidth, typically spread across many "
+                    "store instructions."
+                ),
+                suggestion=(
+                    "Reduce written bytes (narrower types, fewer "
+                    "streams), merge writes, or use non-temporal "
+                    "stores to skip write-allocate traffic."
+                ),
+            )
+        )
+
+    # Rule 6: mispredicting branches.
+    branch_units = units_where(
+        lambda i: _share_with(profile, i, Event.FL_MB) > 0.5
+    )
+    if branch_units and severity(branch_units) >= threshold:
+        findings.append(
+            Finding(
+                rule="branch-mispredicts",
+                severity=severity(branch_units),
+                units=sorted(
+                    branch_units, key=profile.height, reverse=True
+                ),
+                explanation=(
+                    "These branches mispredict frequently enough that "
+                    "pipeline flushes carry a visible share of time."
+                ),
+                suggestion=(
+                    "Make the condition predictable (sort/partition "
+                    "data), replace with conditional moves/arithmetic, "
+                    "or hoist the unpredictable decision."
+                ),
+            )
+        )
+
+    # Rule 7: front-end (code footprint) pressure.
+    fe_units = units_where(
+        lambda i: _share_with(profile, i, Event.DR_L1) > 0.5
+    )
+    if fe_units and severity(fe_units) >= threshold:
+        findings.append(
+            Finding(
+                rule="icache-pressure",
+                severity=severity(fe_units),
+                units=sorted(fe_units, key=profile.height, reverse=True),
+                explanation=(
+                    "Front-end stalls: the hot code footprint misses "
+                    "the L1 I-cache (and possibly the I-TLB)."
+                ),
+                suggestion=(
+                    "Improve code layout (hot/cold splitting, PGO), "
+                    "reduce inlining/unrolling, or align hot loops."
+                ),
+            )
+        )
+
+    # Rule 8: long event-free stalls on long-latency compute.
+    fp_units = units_where(
+        lambda i: program[i].op_class
+        in (OpClass.FP_DIV, OpClass.FP_SQRT, OpClass.INT_DIV)
+        and _share_with(profile, i, Event.ST_L1) < 0.1
+        and profile.height(i) / total >= threshold
+    )
+    if fp_units:
+        findings.append(
+            Finding(
+                rule="exposed-execution-latency",
+                severity=severity(fp_units),
+                units=sorted(fp_units, key=profile.height, reverse=True),
+                explanation=(
+                    "Long-latency arithmetic stalls commit with no "
+                    "microarchitectural event: its latency is simply "
+                    "not hidden -- check what prevents it from issuing "
+                    "earlier (dependences, flushes just before it)."
+                ),
+                suggestion=(
+                    "Break dependence chains, hoist the operation, use "
+                    "a lower-latency alternative (rsqrt, "
+                    "multiply-by-reciprocal), or remove preceding "
+                    "flushes."
+                ),
+            )
+        )
+
+    findings.sort(key=lambda f: -f.severity)
+    return findings
+
+
+def render_findings(
+    findings: list[Finding], program: Program | None = None
+) -> str:
+    """All findings as one report."""
+    if not findings:
+        return (
+            "No findings above threshold: the profile is Base-dominated "
+            "and spread out (core-bound or already balanced)."
+        )
+    return "\n\n".join(f.render(program) for f in findings)

@@ -1,0 +1,213 @@
+"""Event-count-vs-performance-impact correlation (paper Fig 7, Sec. 5.3)
+and the stall-coverage analysis (Section 3).
+
+The paper quantifies why event-driven analysis falls short: for each
+performance event, it computes the Pearson correlation (across static
+instructions) between the event's *count* and the cycles the golden
+reference attributes to stack components containing that event. Flush
+events correlate strongly (flushes are rarely hidden); cache/TLB misses
+only moderately (partially hidden); store-queue stalls worst (sometimes
+fully hidden).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.pics import PicsProfile
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either sequence has zero variance (an event that
+    always occurs the same number of times carries no signal).
+
+    Raises:
+        ValueError: If the sequences differ in length or are empty.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n == 0:
+        raise ValueError("sequences must be non-empty")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sxx = syy = 0.0
+    for x, y in zip(xs, ys):
+        dx = x - mean_x
+        dy = y - mean_y
+        cov += dx * dy
+        sxx += dx * dx
+        syy += dy * dy
+    if sxx <= 0.0 or syy <= 0.0:
+        return 0.0
+    # Clamp: rounding can push |r| infinitesimally past 1.
+    return max(-1.0, min(1.0, cov / math.sqrt(sxx * syy)))
+
+
+def event_impact(
+    golden: PicsProfile, index: int, event: Event
+) -> float:
+    """Golden cycles of instruction *index* in components containing
+    *event* (the event's performance impact on that instruction)."""
+    bit = 1 << event
+    return sum(
+        cycles
+        for psv, cycles in golden.stacks.get(index, {}).items()
+        if psv & bit
+    )
+
+
+def event_correlation(
+    golden: PicsProfile,
+    event_counts: dict[tuple[int, int], int],
+    event: Event,
+) -> float | None:
+    """Pearson r between *event*'s per-instruction count and impact.
+
+    The correlation runs over *all* profiled static instructions --
+    instructions that never encountered the event contribute (0, 0)
+    points, exactly as when correlating two PMU-style per-instruction
+    vectors. Returns None when the event never occurred at all (no
+    variance on either axis would make r meaningless).
+    """
+    occurred = any(e == event for (_, e) in event_counts) or any(
+        psv & (1 << event)
+        for stack in golden.stacks.values()
+        for psv in stack
+    )
+    if not occurred:
+        return None
+    indices = sorted(
+        set(golden.stacks) | {i for (i, e) in event_counts if e == event}
+    )
+    if len(indices) < 2:
+        return None
+    counts = [float(event_counts.get((i, event), 0)) for i in indices]
+    impacts = [event_impact(golden, i, event) for i in indices]
+    return pearson(counts, impacts)
+
+
+@dataclass
+class BoxStats:
+    """Five-number summary used for Fig 7's box plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "BoxStats":
+        """Compute the summary; raises ValueError on an empty list."""
+        if not values:
+            raise ValueError("no values")
+        ordered = sorted(values)
+
+        def quantile(q: float) -> float:
+            pos = q * (len(ordered) - 1)
+            lo = int(math.floor(pos))
+            hi = int(math.ceil(pos))
+            if lo == hi:
+                return ordered[lo]
+            frac = pos - lo
+            return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+        q1 = quantile(0.25)
+        median = quantile(0.5)
+        q3 = quantile(0.75)
+        # Interpolation rounding (e.g. around denormals) must not break
+        # the five-number ordering invariant.
+        q1 = max(ordered[0], q1)
+        median = max(q1, median)
+        q3 = min(max(median, q3), ordered[-1])
+        median = min(median, q3)
+        q1 = min(q1, median)
+        return cls(
+            minimum=ordered[0],
+            q1=q1,
+            median=median,
+            q3=q3,
+            maximum=ordered[-1],
+            n=len(ordered),
+        )
+
+
+def correlation_boxes(
+    per_benchmark: dict[str, tuple[PicsProfile, dict[tuple[int, int], int]]],
+) -> dict[Event, BoxStats]:
+    """Fig 7: per-event box stats of Pearson r across benchmarks.
+
+    Args:
+        per_benchmark: benchmark name -> (golden profile, event counts).
+
+    Returns:
+        Event -> box stats over the benchmarks where the event occurred.
+    """
+    boxes: dict[Event, BoxStats] = {}
+    for event in Event:
+        values = []
+        for golden, counts in per_benchmark.values():
+            r = event_correlation(golden, counts, event)
+            if r is not None:
+                values.append(r)
+        if values:
+            boxes[event] = BoxStats.from_values(values)
+    return boxes
+
+
+# ----------------------------------------------------------------------
+# Stall coverage (Section 3): event-free commit stalls should be short.
+# ----------------------------------------------------------------------
+@dataclass
+class StallCoverage:
+    """Distribution summary of commit stalls not explained by any event."""
+
+    episodes: int
+    p50: float
+    p99: float
+    maximum: int
+
+    @classmethod
+    def from_histogram(cls, histogram: dict[int, int]) -> "StallCoverage":
+        """Summarise a {stall length -> episode count} histogram.
+
+        Raises:
+            ValueError: If the histogram is empty.
+        """
+        if not histogram:
+            raise ValueError("empty stall histogram")
+        total = sum(histogram.values())
+        ordered = sorted(histogram.items())
+
+        def percentile(p: float) -> float:
+            threshold = p * total
+            seen = 0
+            for length, count in ordered:
+                seen += count
+                if seen >= threshold:
+                    return float(length)
+            return float(ordered[-1][0])
+
+        return cls(
+            episodes=total,
+            p50=percentile(0.50),
+            p99=percentile(0.99),
+            maximum=ordered[-1][0],
+        )
+
+
+def merged_stall_coverage(
+    histograms: list[dict[int, int]],
+) -> StallCoverage:
+    """Stall coverage over the union of several benchmarks' histograms."""
+    merged: dict[int, int] = {}
+    for histogram in histograms:
+        for length, count in histogram.items():
+            merged[length] = merged.get(length, 0) + count
+    return StallCoverage.from_histogram(merged)

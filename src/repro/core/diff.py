@@ -1,0 +1,159 @@
+"""PICS differencing: compare two profiles of (variants of) a program.
+
+The case studies' workflow is inherently differential — profile, apply
+an optimisation, profile again, see where the time went. This module
+makes that first-class: :func:`diff_profiles` aligns two profiles by
+unit, normalises them to their own cycle totals, and reports per-unit,
+per-signature deltas ranked by absolute impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.pics import PicsProfile
+from repro.core.psv import signature_name
+
+
+@dataclass
+class UnitDelta:
+    """Change in one unit's cycle stack between two profiles.
+
+    All quantities are absolute cycles after scaling both profiles to
+    *reference_total* (so a shrinking program shows real savings).
+    """
+
+    unit: Hashable
+    before_cycles: float
+    after_cycles: float
+    signature_deltas: dict[int, float]  # psv -> after - before
+
+    @property
+    def delta(self) -> float:
+        """after - before (negative = improvement)."""
+        return self.after_cycles - self.before_cycles
+
+    def dominant_signature(self) -> str:
+        """Name of the signature with the largest absolute change."""
+        if not self.signature_deltas:
+            return "-"
+        psv = max(
+            self.signature_deltas,
+            key=lambda p: abs(self.signature_deltas[p]),
+        )
+        return signature_name(psv)
+
+
+@dataclass
+class PicsDiff:
+    """A full profile comparison."""
+
+    before_total: float
+    after_total: float
+    deltas: list[UnitDelta]  # sorted by |delta|, largest first
+
+    @property
+    def speedup(self) -> float:
+        """before/after cycle ratio (>1 = faster)."""
+        return (
+            self.before_total / self.after_total
+            if self.after_total
+            else float("inf")
+        )
+
+    def top(self, n: int = 10) -> list[UnitDelta]:
+        """The *n* largest-magnitude unit changes."""
+        return self.deltas[:n]
+
+    def improvements(self) -> list[UnitDelta]:
+        """Units that got faster, biggest saving first."""
+        return sorted(
+            (d for d in self.deltas if d.delta < 0),
+            key=lambda d: d.delta,
+        )
+
+    def regressions(self) -> list[UnitDelta]:
+        """Units that got slower, biggest regression first."""
+        return sorted(
+            (d for d in self.deltas if d.delta > 0),
+            key=lambda d: -d.delta,
+        )
+
+
+def diff_profiles(
+    before: PicsProfile,
+    after: PicsProfile,
+    min_cycles: float = 0.0,
+) -> PicsDiff:
+    """Compare two profiles (same granularity, ideally same program).
+
+    Units are matched by key; signatures by PSV value. Profiles are used
+    at their own absolute totals, so the diff reflects real cycle
+    changes, not share changes.
+
+    Args:
+        before: Baseline profile.
+        after: Optimised/regressed profile.
+        min_cycles: Drop units whose |delta| is below this threshold.
+
+    Raises:
+        ValueError: If the two profiles have different granularities.
+    """
+    if before.granularity != after.granularity:
+        raise ValueError(
+            f"granularity mismatch: {before.granularity} vs "
+            f"{after.granularity}"
+        )
+    units = set(before.stacks) | set(after.stacks)
+    deltas: list[UnitDelta] = []
+    for unit in units:
+        stack_before = before.stacks.get(unit, {})
+        stack_after = after.stacks.get(unit, {})
+        signatures = set(stack_before) | set(stack_after)
+        signature_deltas = {
+            psv: stack_after.get(psv, 0.0) - stack_before.get(psv, 0.0)
+            for psv in signatures
+        }
+        delta = UnitDelta(
+            unit=unit,
+            before_cycles=sum(stack_before.values()),
+            after_cycles=sum(stack_after.values()),
+            signature_deltas=signature_deltas,
+        )
+        if abs(delta.delta) >= min_cycles:
+            deltas.append(delta)
+    deltas.sort(key=lambda d: -abs(d.delta))
+    return PicsDiff(
+        before_total=before.total(),
+        after_total=after.total(),
+        deltas=deltas,
+    )
+
+
+def render_diff(
+    diff: PicsDiff,
+    n: int = 10,
+    program=None,
+    before_name: str = "before",
+    after_name: str = "after",
+) -> str:
+    """Human-readable diff report."""
+    lines = [
+        f"PICS diff: {before_name} ({diff.before_total:,.0f} cycles) -> "
+        f"{after_name} ({diff.after_total:,.0f} cycles), "
+        f"speedup {diff.speedup:.2f}x",
+        f"{'unit':<28s} {'before':>10s} {'after':>10s} {'delta':>11s}  "
+        "dominant change",
+    ]
+    for delta in diff.top(n):
+        if program is not None and isinstance(delta.unit, int):
+            label = f"[{delta.unit}] {program[delta.unit].disasm()}"
+        else:
+            label = str(delta.unit)
+        lines.append(
+            f"{label[:28]:<28s} {delta.before_cycles:>10,.0f} "
+            f"{delta.after_cycles:>10,.0f} {delta.delta:>+11,.0f}  "
+            f"{delta.dominant_signature()}"
+        )
+    return "\n".join(lines)

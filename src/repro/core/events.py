@@ -1,0 +1,259 @@
+"""TEA's performance events, technique event sets, and event hierarchies.
+
+The paper selects nine events (Table 1), named ``X-Y`` where ``X`` is the
+non-compute commit state the event explains (DR = Drained, ST = Stalled,
+FL = Flushed) and ``Y`` is the microarchitectural cause.
+
+The extracted paper text mangles Table 1's check marks, so the IBS / SPE /
+RIS event sets below are best-effort reconstructions from the storage
+requirements stated in Section 3 (IBS: 6 bits, SPE: 5 bits, RIS: 7 bits),
+the cited vendor documentation, and the paper's observations that "RIS
+captures more events" and that the IBS/SPE difference is marginal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Event(enum.IntEnum):
+    """The nine TEA performance events; values are PSV bit positions."""
+
+    DR_L1 = 0  # L1 instruction cache miss
+    DR_TLB = 1  # L1 instruction TLB miss
+    DR_SQ = 2  # Store instruction stalled at dispatch (LSQ full)
+    FL_MB = 3  # Mispredicted branch
+    FL_EX = 4  # Instruction caused exception (serializing CSR op)
+    FL_MO = 5  # Memory ordering violation
+    ST_L1 = 6  # L1 data cache miss
+    ST_TLB = 7  # L1 data TLB miss
+    ST_LLC = 8  # LLC miss caused by a load instruction
+
+    @property
+    def commit_state(self) -> str:
+        """The commit state this event explains: "DR", "ST", or "FL"."""
+        return self.name.split("_", 1)[0]
+
+    @property
+    def display_name(self) -> str:
+        """Paper-style name, e.g. ``ST-L1``."""
+        return self.name.replace("_", "-")
+
+
+#: One-line descriptions (paper Table 1).
+EVENT_DESCRIPTIONS: dict[Event, str] = {
+    Event.DR_L1: "L1 instruction cache miss",
+    Event.DR_TLB: "L1 instruction TLB miss",
+    Event.DR_SQ: "Store instruction stalled at dispatch",
+    Event.FL_MB: "Mispredicted branch",
+    Event.FL_EX: "Instruction caused exception",
+    Event.FL_MO: "Memory ordering violation",
+    Event.ST_L1: "L1 data cache miss",
+    Event.ST_TLB: "L1 data TLB miss",
+    Event.ST_LLC: "LLC miss caused by a load instruction",
+}
+
+#: All nine events, in PSV bit order.
+ALL_EVENTS: tuple[Event, ...] = tuple(Event)
+
+#: TEA tracks every event.
+TEA_EVENTS: frozenset[Event] = frozenset(Event)
+
+#: AMD IBS (6 events): fetch sampling covers I-cache/I-TLB; op sampling
+#: covers D-cache/D-TLB/branch mispredict and reports data-source level
+#: (giving the LLC-miss distinction).
+IBS_EVENTS: frozenset[Event] = frozenset(
+    {
+        Event.DR_L1,
+        Event.DR_TLB,
+        Event.FL_MB,
+        Event.ST_L1,
+        Event.ST_TLB,
+        Event.ST_LLC,
+    }
+)
+
+#: Arm SPE (5 events): events packet has L1D refill, TLB refill, LLC
+#: refill, branch mispredict, and I-side refill; no I-TLB bit.
+SPE_EVENTS: frozenset[Event] = frozenset(
+    {
+        Event.DR_L1,
+        Event.FL_MB,
+        Event.ST_L1,
+        Event.ST_TLB,
+        Event.ST_LLC,
+    }
+)
+
+#: IBM RIS (7 events): the POWER9 PMU additionally exposes
+#: exception/flush causes.
+RIS_EVENTS: frozenset[Event] = frozenset(
+    {
+        Event.DR_L1,
+        Event.DR_TLB,
+        Event.FL_MB,
+        Event.FL_EX,
+        Event.ST_L1,
+        Event.ST_TLB,
+        Event.ST_LLC,
+    }
+)
+
+#: Technique name -> supported event set (Table 1).
+EVENT_SETS: dict[str, frozenset[Event]] = {
+    "TEA": TEA_EVENTS,
+    "NCI-TEA": TEA_EVENTS,
+    "IBS": IBS_EVENTS,
+    "SPE": SPE_EVENTS,
+    "RIS": RIS_EVENTS,
+}
+
+
+def event_mask(events: frozenset[Event] | set[Event]) -> int:
+    """PSV bitmask with the bit of every event in *events* set."""
+    mask = 0
+    for event in events:
+        mask |= 1 << event
+    return mask
+
+
+#: Bitmask covering all nine events.
+FULL_MASK: int = event_mask(TEA_EVENTS)
+
+
+# ----------------------------------------------------------------------
+# Event hierarchy (paper Fig 3).
+# ----------------------------------------------------------------------
+@dataclass
+class HierarchyNode:
+    """One node of a commit-state event hierarchy.
+
+    A *dependent* event can only occur if its parent occurred (an LLC miss
+    requires an L1 miss); *independent* siblings can occur in any
+    combination.
+    """
+
+    name: str
+    event: Event | None = None
+    children: list["HierarchyNode"] = field(default_factory=list)
+
+    def walk(self):
+        """Yield this node and all descendants, breadth-first."""
+        queue = [self]
+        while queue:
+            node = queue.pop(0)
+            yield node
+            queue.extend(node.children)
+
+
+def stalled_hierarchy() -> HierarchyNode:
+    """The Stalled-state hierarchy of Fig 3 (load stall root)."""
+    llc = HierarchyNode("LLC miss", Event.ST_LLC)
+    l1 = HierarchyNode("L1D miss", Event.ST_L1, [llc])
+    tlb = HierarchyNode("L1 D-TLB miss", Event.ST_TLB)
+    return HierarchyNode("Load stall", None, [l1, tlb])
+
+
+def drained_hierarchy() -> HierarchyNode:
+    """The Drained-state hierarchy (front-end stall root)."""
+    l1 = HierarchyNode("L1I miss", Event.DR_L1)
+    tlb = HierarchyNode("L1 I-TLB miss", Event.DR_TLB)
+    sq = HierarchyNode("Store-queue dispatch stall", Event.DR_SQ)
+    return HierarchyNode("Front-end stall", None, [l1, tlb, sq])
+
+
+def flushed_hierarchy() -> HierarchyNode:
+    """The Flushed-state hierarchy (pipeline flush root)."""
+    mb = HierarchyNode("Mispredicted branch", Event.FL_MB)
+    ex = HierarchyNode("Exception", Event.FL_EX)
+    mo = HierarchyNode("Memory ordering violation", Event.FL_MO)
+    return HierarchyNode("Pipeline flush", None, [mb, ex, mo])
+
+
+def render_hierarchy(root: HierarchyNode) -> str:
+    """ASCII tree rendering of one commit-state event hierarchy (Fig 3).
+
+    Dependent events are nested under their parents; independent events
+    are siblings.
+    """
+    # NB: Event.DR_L1 == 0 is falsy; compare against None explicitly.
+    tag = (
+        f" [{root.event.display_name}]" if root.event is not None else ""
+    )
+    lines = [f"{root.name}{tag}"]
+    for i, child in enumerate(root.children):
+        last = i == len(root.children) - 1
+        connector = "`-- " if last else "|-- "
+        extension = "    " if last else "|   "
+        child_lines = render_hierarchy(child).splitlines()
+        lines.append(connector + child_lines[0])
+        lines.extend(extension + line for line in child_lines[1:])
+    return "\n".join(lines)
+
+
+def render_all_hierarchies() -> str:
+    """All three commit-state hierarchies as one Fig 3-style diagram."""
+    return "\n\n".join(
+        render_hierarchy(root)
+        for root in (
+            stalled_hierarchy(),
+            drained_hierarchy(),
+            flushed_hierarchy(),
+        )
+    )
+
+
+def select_event_set(budget_bits: int) -> frozenset[Event]:
+    """Choose the most interpretable event set under a PSV-width budget.
+
+    Implements the Fig 3 trade-off: cover every hierarchy's top-level
+    (independent) events first — they partition each non-compute commit
+    state — then add dependent events, which refine the explanation
+    (e.g. splitting L1 misses into LLC hits vs misses). Events at the
+    same depth are taken in PSV bit order, which matches the paper's
+    priority (the root event of each dependency chain must be kept for
+    its dependents to stay interpretable).
+
+    Args:
+        budget_bits: Maximum PSV width in bits (0..9).
+
+    Returns:
+        The selected events (size <= budget_bits).
+    """
+    if budget_bits < 0:
+        raise ValueError("budget_bits must be non-negative")
+    # Per-hierarchy breadth-first event lists (depth-major).
+    per_hierarchy: list[list[list[Event]]] = []
+    for root in (stalled_hierarchy(), drained_hierarchy(),
+                 flushed_hierarchy()):
+        levels: list[list[Event]] = []
+        level = root.children
+        while level:
+            levels.append(
+                [node.event for node in level if node.event is not None]
+            )
+            level = [child for node in level for child in node.children]
+        per_hierarchy.append(levels)
+    max_depth = max(len(levels) for levels in per_hierarchy)
+    selected: list[Event] = []
+    for depth in range(max_depth):
+        # Round-robin across commit states within a depth so that a
+        # small budget explains every non-compute state before refining
+        # any single one.
+        position = 0
+        while True:
+            emitted = False
+            for levels in per_hierarchy:
+                if depth >= len(levels):
+                    continue
+                level_events = levels[depth]
+                if position < len(level_events):
+                    emitted = True
+                    if len(selected) >= budget_bits:
+                        return frozenset(selected)
+                    selected.append(level_events[position])
+            if not emitted:
+                break
+            position += 1
+    return frozenset(selected)

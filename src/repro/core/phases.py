@@ -1,0 +1,140 @@
+"""Phase-resolved PICS: profiles over time windows (a VTune-style
+timeline).
+
+Programs move through phases; a single aggregated PICS averages them
+away. :class:`PhasedTeaSampler` bins every capture into fixed-width
+cycle windows, yielding one PICS per window plus timeline views: how a
+signature's share evolves, and when an instruction is hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pics import PicsProfile
+from repro.core.psv import signature_name
+from repro.core.samplers import TeaSampler
+
+
+class PhasedTeaSampler(TeaSampler):
+    """TEA sampling with per-window capture binning.
+
+    Args:
+        period: Sampling period (cycles).
+        window: Phase-window width (cycles).
+
+    Captures that resolve late (a deferred stall sample committing after
+    the window in which it was taken) are binned at their resolution
+    cycle -- the same convention the real sample stream would produce.
+    """
+
+    def __init__(self, period: int, window: int, **kwargs) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        super().__init__(period, name="TEA-phased", **kwargs)
+        self.window = window
+        self.window_raw: dict[int, dict[tuple[int, int], float]] = {}
+
+    def start(self, core) -> None:
+        super().start(core)
+        self.window_raw = {}
+
+    def capture(self, index, psv, weight, cycle=None):
+        super().capture(index, psv, weight, cycle=cycle)
+        window_id = 0 if cycle is None else cycle // self.window
+        raw = self.window_raw.setdefault(window_id, {})
+        key = (index, psv & self.mask)
+        raw[key] = raw.get(key, 0.0) + weight
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    def phase_profiles(self) -> list[tuple[int, PicsProfile]]:
+        """(window start cycle, profile) pairs, in time order."""
+        return [
+            (
+                window_id * self.window,
+                PicsProfile.from_raw(
+                    f"{self.name}@{window_id * self.window}",
+                    self.window_raw[window_id],
+                ),
+            )
+            for window_id in sorted(self.window_raw)
+        ]
+
+    def signature_timeline(self) -> dict[str, list[float]]:
+        """signature name -> share per window (0 where absent)."""
+        windows = sorted(self.window_raw)
+        signatures: dict[str, list[float]] = {}
+        for position, window_id in enumerate(windows):
+            raw = self.window_raw[window_id]
+            total = sum(raw.values()) or 1.0
+            for (_, psv), cycles in raw.items():
+                name = signature_name(psv)
+                series = signatures.setdefault(
+                    name, [0.0] * len(windows)
+                )
+                series[position] += cycles / total
+        return signatures
+
+    def instruction_timeline(self, index: int) -> list[float]:
+        """One instruction's share of each window's cycles."""
+        shares = []
+        for window_id in sorted(self.window_raw):
+            raw = self.window_raw[window_id]
+            total = sum(raw.values()) or 1.0
+            shares.append(
+                sum(
+                    cycles
+                    for (i, _), cycles in raw.items()
+                    if i == index
+                )
+                / total
+            )
+        return shares
+
+
+@dataclass
+class PhaseSummary:
+    """One row of the rendered timeline."""
+
+    start_cycle: int
+    total_cycles: float
+    top_signature: str
+    top_share: float
+
+
+def summarise_phases(sampler: PhasedTeaSampler) -> list[PhaseSummary]:
+    """Per-window dominant-signature summary."""
+    summaries = []
+    for start, profile in sampler.phase_profiles():
+        by_signature: dict[int, float] = {}
+        for stack in profile.stacks.values():
+            for psv, cycles in stack.items():
+                by_signature[psv] = by_signature.get(psv, 0.0) + cycles
+        total = sum(by_signature.values()) or 1.0
+        top = max(by_signature, key=by_signature.get)
+        summaries.append(
+            PhaseSummary(
+                start_cycle=start,
+                total_cycles=total,
+                top_signature=signature_name(top),
+                top_share=by_signature[top] / total,
+            )
+        )
+    return summaries
+
+
+def render_phases(sampler: PhasedTeaSampler, width: int = 40) -> str:
+    """ASCII timeline: one row per window, bar = dominant signature."""
+    summaries = summarise_phases(sampler)
+    if not summaries:
+        return "(no samples)"
+    lines = [f"{'window start':>12s}  dominant signature"]
+    for summary in summaries:
+        bar = "#" * max(1, int(round(summary.top_share * width)))
+        lines.append(
+            f"{summary.start_cycle:>12,d}  "
+            f"{summary.top_signature:<24s} {summary.top_share:6.1%} {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Performance Signature Vector (PSV) bit operations.
+
+A PSV is an integer bitmask with one bit per supported performance event
+(:class:`repro.core.events.Event` values are the bit positions). A PSV of
+zero is the paper's "Base" category: the instruction was subjected to no
+tracked event.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import ALL_EVENTS, FULL_MASK, Event
+
+#: The paper's label for the event-free signature.
+BASE_SIGNATURE = "Base"
+
+
+def psv_set(psv: int, event: Event) -> int:
+    """Return *psv* with *event*'s bit set."""
+    return psv | (1 << event)
+
+
+def psv_has(psv: int, event: Event) -> bool:
+    """True if *event*'s bit is set in *psv*."""
+    return bool(psv & (1 << event))
+
+
+def decode_psv(psv: int) -> tuple[Event, ...]:
+    """Events encoded in *psv*, in bit order."""
+    return tuple(e for e in ALL_EVENTS if psv & (1 << e))
+
+
+def project_psv(psv: int, mask: int) -> int:
+    """Restrict *psv* to the events in *mask*.
+
+    Used to compare techniques with smaller event sets against a golden
+    reference with the same components (paper Section 4).
+    """
+    return psv & mask
+
+
+def popcount(psv: int) -> int:
+    """Number of events set in *psv*."""
+    return bin(psv & FULL_MASK).count("1")
+
+
+def is_combined(psv: int) -> bool:
+    """True if *psv* encodes a combined event (two or more events)."""
+    return popcount(psv) >= 2
+
+
+def signature_name(psv: int) -> str:
+    """Paper-style category name: ``Base``, ``ST-L1``, ``ST-L1+ST-TLB``..."""
+    if psv == 0:
+        return BASE_SIGNATURE
+    return "+".join(e.display_name for e in decode_psv(psv))
+
+
+def parse_signature(name: str) -> int:
+    """Inverse of :func:`signature_name`.
+
+    Raises:
+        ValueError: If a component is not a known event name.
+    """
+    if name == BASE_SIGNATURE:
+        return 0
+    psv = 0
+    for part in name.split("+"):
+        key = part.replace("-", "_")
+        try:
+            event = Event[key]
+        except KeyError:
+            raise ValueError(f"unknown event {part!r} in signature {name!r}")
+        psv = psv_set(psv, event)
+    return psv

@@ -1,0 +1,103 @@
+"""Human-readable rendering of PICS profiles.
+
+The paper's post-processing tool lets a developer "analyze application
+performance by visualizing PICS at various granularities"; this module is
+that tool's terminal incarnation: stacked ASCII bars per unit, one segment
+per (combination of) performance event(s).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.pics import Granularity, PicsProfile
+from repro.core.psv import signature_name
+from repro.isa.program import Program
+
+
+def format_cycles(cycles: float) -> str:
+    """Compact cycle-count formatting (1234 -> '1.2K')."""
+    if cycles >= 1e9:
+        return f"{cycles / 1e9:.1f}G"
+    if cycles >= 1e6:
+        return f"{cycles / 1e6:.1f}M"
+    if cycles >= 1e3:
+        return f"{cycles / 1e3:.1f}K"
+    return f"{cycles:.0f}"
+
+
+def unit_label(unit: Hashable, profile: PicsProfile,
+               program: Program | None) -> str:
+    """Display label for a profile unit at the profile's granularity."""
+    if profile.granularity == Granularity.INSTRUCTION and isinstance(
+        unit, int
+    ):
+        if program is not None:
+            inst = program[unit]
+            return f"[{unit:4d}] {inst.disasm()} <{inst.func}>"
+        return f"[{unit:4d}]"
+    if profile.granularity == Granularity.BASIC_BLOCK:
+        return f"bb@{unit}"
+    return str(unit)
+
+
+def render_stack(
+    profile: PicsProfile,
+    unit: Hashable,
+    total: float,
+    width: int = 50,
+    program: Program | None = None,
+) -> str:
+    """Render one unit's cycle stack as an ASCII bar + breakdown lines."""
+    stack = profile.stacks.get(unit, {})
+    height = sum(stack.values())
+    share = height / total if total else 0.0
+    lines = [
+        f"{unit_label(unit, profile, program)}  "
+        f"{format_cycles(height)} cycles ({share:6.2%} of total)"
+    ]
+    for psv, cycles in sorted(
+        stack.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        frac = cycles / height if height else 0.0
+        bar = "#" * max(1, int(round(frac * width)))
+        lines.append(
+            f"    {signature_name(psv):<28s} {format_cycles(cycles):>8s} "
+            f"{frac:7.2%} {bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_top(
+    profile: PicsProfile,
+    n: int = 10,
+    program: Program | None = None,
+    title: str | None = None,
+) -> str:
+    """Render the top-*n* units of a profile, tallest stacks first."""
+    total = profile.total()
+    header = title or (
+        f"{profile.name} PICS "
+        f"({profile.granularity.value} granularity, "
+        f"{format_cycles(total)} cycles)"
+    )
+    parts = [header, "=" * len(header)]
+    for unit in profile.top_units(n):
+        parts.append(render_stack(profile, unit, total, program=program))
+    return "\n".join(parts)
+
+
+def render_comparison(
+    profiles: list[PicsProfile],
+    unit: Hashable,
+    program: Program | None = None,
+) -> str:
+    """Render one unit's stack side by side across techniques (Fig 6)."""
+    parts = []
+    for profile in profiles:
+        total = profile.total()
+        parts.append(f"--- {profile.name} ---")
+        parts.append(
+            render_stack(profile, unit, total, program=program)
+        )
+    return "\n".join(parts)

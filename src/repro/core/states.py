@@ -1,0 +1,18 @@
+"""The four commit states of the paper (Section 2).
+
+In any cycle the commit stage is in exactly one of these states; the
+non-compute states are what TEA's events must explain.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CommitState(enum.IntEnum):
+    """Per-cycle commit-stage state."""
+
+    COMPUTE = 0  # >= 1 instruction committing this cycle
+    STALLED = 1  # ROB head present but not fully executed
+    DRAINED = 2  # ROB empty because of a front-end stall
+    FLUSHED = 3  # ROB empty because an instruction flushed the pipeline

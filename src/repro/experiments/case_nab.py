@@ -1,0 +1,105 @@
+"""Fig 12: the nab IEEE-754-compliance case study.
+
+TEA's PICS show (i) the serializing fsflags/frflags-style ops carrying
+FL-EX flush cycles and (ii) the fsqrt carrying event-free stall cycles --
+its execution latency is exposed because the flush prevented it from
+issuing early. Because TEA is trustworthy, a developer can conclude no
+microarchitectural event is to blame and look at the instruction
+ordering instead. Removing the serializing ops (-finite-math /
+-fast-math) yields the paper's 1.96x / 2.45x speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Event
+from repro.core.pics import PicsProfile
+from repro.core.psv import psv_has
+from repro.core.report import render_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.isa.opcodes import OpClass, Opcode
+
+
+@dataclass
+class NabResult:
+    """The nab case study: PICS and the fast-math speedup."""
+
+    golden: PicsProfile
+    tea: PicsProfile
+    ibs: PicsProfile
+    program: object
+    fsqrt_index: int
+    serial_indices: list[int]
+    base_cycles: int
+    fast_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the fast-math binary (paper: 1.96x-2.45x)."""
+        return self.base_cycles / self.fast_cycles
+
+    def fsqrt_share(self, profile_name: str = "golden") -> float:
+        """The fsqrt instruction's share of execution time."""
+        profile = {"golden": self.golden, "TEA": self.tea,
+                   "IBS": self.ibs}[profile_name]
+        total = profile.total()
+        return profile.height(self.fsqrt_index) / total if total else 0.0
+
+    def flush_cycles(self) -> float:
+        """Golden cycles in FL-EX categories (the serializing ops)."""
+        return sum(
+            cycles
+            for stack in self.golden.stacks.values()
+            for psv, cycles in stack.items()
+            if psv_has(psv, Event.FL_EX)
+        )
+
+
+def run(runner: ExperimentRunner | None = None) -> NabResult:
+    """Run the nab case study."""
+    runner = runner or ExperimentRunner()
+    base = runner.run("nab")
+    fast = runner.run("nab", fast_math=True)
+    program = base.workload.program
+    fsqrt_index = next(
+        inst.index for inst in program if inst.op == Opcode.FSQRT
+    )
+    serial_indices = [
+        inst.index for inst in program if inst.op == Opcode.SERIAL
+    ]
+    return NabResult(
+        golden=base.golden,
+        tea=base.profile("TEA"),
+        ibs=base.profile("IBS"),
+        program=program,
+        fsqrt_index=fsqrt_index,
+        serial_indices=serial_indices,
+        base_cycles=base.result.cycles,
+        fast_cycles=fast.result.cycles,
+    )
+
+
+def format_result(result: NabResult) -> str:
+    """Render Fig 12: the fsqrt/serializing-op PICS and the speedup."""
+    parts = [
+        "Fig 12: nab critical fsqrt "
+        f"(instruction {result.fsqrt_index})",
+        render_comparison(
+            [result.golden, result.tea, result.ibs],
+            result.fsqrt_index,
+            program=result.program,
+        ),
+        "",
+        "Serializing (fsflags/frflags-style) ops:",
+    ]
+    for index in result.serial_indices:
+        parts.append(
+            render_comparison([result.golden, result.tea], index,
+                              program=result.program)
+        )
+    parts.append(
+        f"\nfast-math speedup: {result.speedup:.2f}x "
+        "(paper: 1.96x with -finite-math, 2.45x with -fast-math)"
+    )
+    return "\n".join(parts)

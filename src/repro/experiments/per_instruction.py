@@ -1,0 +1,77 @@
+"""Fig 6: PICS of the top-3 instructions -- IBS vs TEA vs golden.
+
+The paper shows bwaves, omnetpp, fotonik3d (illustrating solitary vs
+combined events) and exchange2 (IBS's best case); IBS stands in for SPE
+and RIS. The reproduction targets: TEA's stacks match the golden
+reference closely in height and composition; IBS's do not; bwaves and
+omnetpp show combined cache+TLB components, fotonik3d cache-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pics import PicsProfile
+from repro.core.report import render_comparison, unit_label
+from repro.experiments.runner import ExperimentRunner
+
+#: Benchmarks shown in Fig 6.
+FIG6_BENCHMARKS = ("bwaves", "omnetpp", "fotonik3d", "exchange2")
+
+
+@dataclass
+class TopInstructionsResult:
+    """Per-benchmark top-3 instruction stacks for each technique."""
+
+    benchmark: str
+    top_indices: list[int]
+    golden: PicsProfile
+    tea: PicsProfile
+    ibs: PicsProfile
+
+    def stack_heights(self, technique: str) -> list[float]:
+        """Stack heights of the top instructions for one technique,
+        normalised to that profile's total (comparable across samplers).
+        """
+        profile = {"golden": self.golden, "TEA": self.tea,
+                   "IBS": self.ibs}[technique]
+        total = profile.total()
+        return [profile.height(i) / total for i in self.top_indices]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    names: tuple[str, ...] = FIG6_BENCHMARKS,
+    top_n: int = 3,
+) -> dict[str, TopInstructionsResult]:
+    """Run the Fig 6 experiment."""
+    runner = runner or ExperimentRunner()
+    results = {}
+    for name in names:
+        bench = runner.run(name)
+        golden = bench.golden
+        results[name] = TopInstructionsResult(
+            benchmark=name,
+            top_indices=[int(u) for u in golden.top_units(top_n)],
+            golden=golden,
+            tea=bench.profile("TEA"),
+            ibs=bench.profile("IBS"),
+        )
+    return results
+
+
+def format_result(results: dict[str, TopInstructionsResult]) -> str:
+    """Render Fig 6: top-3 stacks per benchmark for GR, TEA, IBS."""
+    parts = ["Fig 6: PICS for the top-3 instructions (GR vs TEA vs IBS)"]
+    for name, result in results.items():
+        parts.append(f"\n=== {name} ===")
+        program = None
+        for index in result.top_indices:
+            parts.append(
+                render_comparison(
+                    [result.golden, result.tea, result.ibs],
+                    index,
+                    program=program,
+                )
+            )
+    return "\n".join(parts)

@@ -1,0 +1,296 @@
+"""Functional interpreter producing the committed dynamic instruction stream.
+
+The timing model in :mod:`repro.uarch` is trace-driven: this interpreter
+executes a program architecturally (register file + memory) and yields one
+:class:`~repro.isa.instructions.DynInst` per committed instruction, carrying
+the branch outcome and memory effective address the timing model needs.
+
+Wrong-path execution is *not* produced here; the timing model models the
+wrong-path penalty as a front-end stall (see DESIGN.md, "Known deviations").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.isa.instructions import (
+    FP_BASE,
+    NO_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    DynInst,
+    StaticInst,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+class InterpreterError(RuntimeError):
+    """Raised when functional execution cannot proceed or does not halt."""
+
+
+class ArchState:
+    """Architectural state: integer/fp register files and memory.
+
+    Memory is a sparse ``dict`` of byte address to value. Workloads
+    initialise arrays by writing to :attr:`memory` before execution. Reads
+    of uninitialised addresses return 0 (integer) so pointer-free kernels
+    need no setup.
+    """
+
+    def __init__(self) -> None:
+        self.int_regs: list[int] = [0] * NUM_INT_REGS
+        self.fp_regs: list[float] = [0.0] * NUM_FP_REGS
+        self.memory: dict[int, float] = {}
+
+    def read_reg(self, reg: int) -> float:
+        """Read an encoded register (x0 always reads 0)."""
+        if reg < FP_BASE:
+            return self.int_regs[reg]
+        return self.fp_regs[reg - FP_BASE]
+
+    def write_reg(self, reg: int, value: float) -> None:
+        """Write an encoded register (writes to x0 are discarded)."""
+        if reg == NO_REG:
+            return
+        if reg < FP_BASE:
+            if reg != 0:
+                self.int_regs[reg] = int(value)
+        else:
+            self.fp_regs[reg - FP_BASE] = float(value)
+
+    def read_mem(self, addr: int) -> float:
+        """Read memory at a byte address (0 if uninitialised)."""
+        return self.memory.get(addr, 0)
+
+    def write_mem(self, addr: int, value: float) -> None:
+        """Write memory at a byte address."""
+        self.memory[addr] = value
+
+
+class Interpreter:
+    """Architecturally execute a :class:`~repro.isa.program.Program`.
+
+    Args:
+        program: The program to execute.
+        state: Optional pre-initialised architectural state (workloads use
+            this to set up arrays and pointer-chase permutations).
+        max_insts: Safety bound on committed instructions; exceeded means
+            the program diverged.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        state: ArchState | None = None,
+        max_insts: int = 50_000_000,
+    ) -> None:
+        self.program = program
+        self.state = state or ArchState()
+        self.max_insts = max_insts
+        self.halted = False
+        self.inst_count = 0
+
+    def run(self) -> Iterator[DynInst]:
+        """Yield one :class:`DynInst` per committed instruction until HALT.
+
+        Raises:
+            InterpreterError: If ``max_insts`` is exceeded, a RET jumps out
+                of range, or execution falls off the end of the program.
+        """
+        state = self.state
+        program = self.program
+        pc = 0
+        seq = 0
+        n_insts = len(program)
+        while True:
+            if pc >= n_insts or pc < 0:
+                raise InterpreterError(
+                    f"{program.name}: pc {pc} outside program"
+                )
+            if seq >= self.max_insts:
+                raise InterpreterError(
+                    f"{program.name}: exceeded {self.max_insts} committed "
+                    "instructions without HALT"
+                )
+            inst = program[pc]
+            next_pc, eff_addr, taken = self._execute(inst, pc)
+            dyn = DynInst(
+                static=inst,
+                seq=seq,
+                eff_addr=eff_addr,
+                taken=taken,
+                next_index=next_pc,
+            )
+            yield dyn
+            seq += 1
+            self.inst_count = seq
+            if inst.op == Opcode.HALT:
+                self.halted = True
+                return
+            pc = next_pc
+
+    def _execute(
+        self, inst: StaticInst, pc: int
+    ) -> tuple[int, int, bool]:
+        """Execute one instruction; return (next_pc, eff_addr, taken)."""
+        state = self.state
+        op = inst.op
+        next_pc = pc + 1
+        eff_addr = -1
+        taken = False
+
+        if op == Opcode.NOP or op == Opcode.SERIAL:
+            pass
+        elif op == Opcode.ADD:
+            state.write_reg(
+                inst.rd, state.read_reg(inst.rs1) + state.read_reg(inst.rs2)
+            )
+        elif op == Opcode.SUB:
+            state.write_reg(
+                inst.rd, state.read_reg(inst.rs1) - state.read_reg(inst.rs2)
+            )
+        elif op == Opcode.AND_:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1)) & int(state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.OR_:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1)) | int(state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.XOR_:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1)) ^ int(state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.SLT:
+            state.write_reg(
+                inst.rd,
+                1 if state.read_reg(inst.rs1) < state.read_reg(inst.rs2) else 0,
+            )
+        elif op == Opcode.SLL:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1))
+                << (int(state.read_reg(inst.rs2)) & 63),
+            )
+        elif op == Opcode.SRL:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1))
+                >> (int(state.read_reg(inst.rs2)) & 63),
+            )
+        elif op == Opcode.ADDI:
+            state.write_reg(inst.rd, state.read_reg(inst.rs1) + inst.imm)
+        elif op == Opcode.ANDI:
+            state.write_reg(
+                inst.rd, int(state.read_reg(inst.rs1)) & int(inst.imm)
+            )
+        elif op == Opcode.ORI:
+            state.write_reg(
+                inst.rd, int(state.read_reg(inst.rs1)) | int(inst.imm)
+            )
+        elif op == Opcode.XORI:
+            state.write_reg(
+                inst.rd, int(state.read_reg(inst.rs1)) ^ int(inst.imm)
+            )
+        elif op == Opcode.SLTI:
+            state.write_reg(
+                inst.rd, 1 if state.read_reg(inst.rs1) < inst.imm else 0
+            )
+        elif op == Opcode.LUI:
+            state.write_reg(inst.rd, inst.imm)
+        elif op == Opcode.MUL:
+            state.write_reg(
+                inst.rd,
+                int(state.read_reg(inst.rs1)) * int(state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.DIV:
+            divisor = int(state.read_reg(inst.rs2))
+            dividend = int(state.read_reg(inst.rs1))
+            state.write_reg(
+                inst.rd, 0 if divisor == 0 else int(dividend / divisor)
+            )
+        elif op == Opcode.REM:
+            divisor = int(state.read_reg(inst.rs2))
+            dividend = int(state.read_reg(inst.rs1))
+            state.write_reg(
+                inst.rd,
+                dividend if divisor == 0 else int(math.fmod(dividend, divisor)),
+            )
+        elif op == Opcode.FADD:
+            state.write_reg(
+                inst.rd, state.read_reg(inst.rs1) + state.read_reg(inst.rs2)
+            )
+        elif op == Opcode.FSUB:
+            state.write_reg(
+                inst.rd, state.read_reg(inst.rs1) - state.read_reg(inst.rs2)
+            )
+        elif op == Opcode.FMUL:
+            state.write_reg(
+                inst.rd, state.read_reg(inst.rs1) * state.read_reg(inst.rs2)
+            )
+        elif op == Opcode.FDIV:
+            divisor = state.read_reg(inst.rs2)
+            state.write_reg(
+                inst.rd,
+                0.0 if divisor == 0 else state.read_reg(inst.rs1) / divisor,
+            )
+        elif op == Opcode.FSQRT:
+            state.write_reg(inst.rd, math.sqrt(abs(state.read_reg(inst.rs1))))
+        elif op == Opcode.FMIN:
+            state.write_reg(
+                inst.rd,
+                min(state.read_reg(inst.rs1), state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.FMAX:
+            state.write_reg(
+                inst.rd,
+                max(state.read_reg(inst.rs1), state.read_reg(inst.rs2)),
+            )
+        elif op == Opcode.FCVT:
+            state.write_reg(inst.rd, float(state.read_reg(inst.rs1)))
+        elif op == Opcode.FMV:
+            state.write_reg(inst.rd, int(state.read_reg(inst.rs1)))
+        elif op in (Opcode.LOAD, Opcode.FLOAD):
+            eff_addr = int(state.read_reg(inst.rs1) + inst.imm)
+            state.write_reg(inst.rd, state.read_mem(eff_addr))
+        elif op in (Opcode.STORE, Opcode.FSTORE):
+            eff_addr = int(state.read_reg(inst.rs1) + inst.imm)
+            state.write_mem(eff_addr, state.read_reg(inst.rs2))
+        elif op == Opcode.PREFETCH:
+            eff_addr = int(state.read_reg(inst.rs1) + inst.imm)
+        elif op == Opcode.BEQ:
+            taken = state.read_reg(inst.rs1) == state.read_reg(inst.rs2)
+            if taken:
+                next_pc = inst.target
+        elif op == Opcode.BNE:
+            taken = state.read_reg(inst.rs1) != state.read_reg(inst.rs2)
+            if taken:
+                next_pc = inst.target
+        elif op == Opcode.BLT:
+            taken = state.read_reg(inst.rs1) < state.read_reg(inst.rs2)
+            if taken:
+                next_pc = inst.target
+        elif op == Opcode.BGE:
+            taken = state.read_reg(inst.rs1) >= state.read_reg(inst.rs2)
+            if taken:
+                next_pc = inst.target
+        elif op == Opcode.JUMP:
+            taken = True
+            next_pc = inst.target
+        elif op == Opcode.CALL:
+            taken = True
+            state.write_reg(inst.rd, pc + 1)
+            next_pc = inst.target
+        elif op == Opcode.RET:
+            taken = True
+            next_pc = int(state.read_reg(inst.rs1))
+        elif op == Opcode.HALT:
+            next_pc = pc
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise InterpreterError(f"unimplemented opcode {op!r}")
+        return next_pc, eff_addr, taken

@@ -1,0 +1,167 @@
+"""Opcode vocabulary for the RISC-like ISA used by the reproduction.
+
+The ISA is deliberately small: just enough to express the synthetic
+SPEC-CPU2017-like kernels in :mod:`repro.workloads` while exercising every
+microarchitectural mechanism that TEA's nine performance events cover
+(caches, TLBs, branch prediction, store bandwidth, pipeline flushes, and
+long-latency floating-point execution).
+
+Opcodes are grouped into *operation classes* (:class:`OpClass`) which is
+what the timing model keys functional-unit selection and latency on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Concrete instruction opcodes with functional semantics."""
+
+    NOP = 0
+
+    # Integer ALU (register-register and register-immediate).
+    ADD = 1
+    SUB = 2
+    AND_ = 3
+    OR_ = 4
+    XOR_ = 5
+    SLT = 6  # rd = 1 if rs1 < rs2 else 0
+    SLL = 7  # shift left logical
+    SRL = 8  # shift right logical
+    ADDI = 9
+    ANDI = 10
+    ORI = 11
+    XORI = 12
+    SLTI = 13
+    LUI = 14  # rd = imm (load immediate)
+
+    # Integer multiply / divide.
+    MUL = 20
+    DIV = 21
+    REM = 22
+
+    # Floating point.
+    FADD = 30
+    FSUB = 31
+    FMUL = 32
+    FDIV = 33
+    FSQRT = 34
+    FMIN = 35
+    FMAX = 36
+    FCVT = 37  # int reg -> fp reg conversion
+    FMV = 38  # fp reg -> int reg move (truncates)
+
+    # Memory.
+    LOAD = 50  # rd  <- mem[rs1 + imm]      (integer)
+    STORE = 51  # mem[rs1 + imm] <- rs2     (integer)
+    FLOAD = 52  # fd  <- mem[rs1 + imm]     (floating point)
+    FSTORE = 53  # mem[rs1 + imm] <- fs2    (floating point)
+    PREFETCH = 54  # software prefetch of mem[rs1 + imm] (no arch effect)
+
+    # Control flow.
+    BEQ = 70
+    BNE = 71
+    BLT = 72
+    BGE = 73
+    JUMP = 74  # unconditional direct jump
+    CALL = 75  # jump-and-link: x31 <- return address
+    RET = 76  # indirect jump to x31
+
+    # Serializing operations (model RISC-V fsflags/frflags CSR accesses
+    # which always flush the pipeline on the BOOM core in the paper).
+    SERIAL = 90
+
+    # Program termination.
+    HALT = 99
+
+
+class OpClass(enum.IntEnum):
+    """Operation classes: what the timing model schedules and times."""
+
+    NOP = 0
+    INT_ALU = 1
+    INT_MUL = 2
+    INT_DIV = 3
+    FP_ADD = 4
+    FP_MUL = 5
+    FP_DIV = 6
+    FP_SQRT = 7
+    LOAD = 8
+    STORE = 9
+    PREFETCH = 10
+    BRANCH = 11
+    JUMP = 12
+    SERIAL = 13
+    HALT = 14
+
+
+_OP_CLASS: dict[Opcode, OpClass] = {
+    Opcode.NOP: OpClass.NOP,
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND_: OpClass.INT_ALU,
+    Opcode.OR_: OpClass.INT_ALU,
+    Opcode.XOR_: OpClass.INT_ALU,
+    Opcode.SLT: OpClass.INT_ALU,
+    Opcode.SLL: OpClass.INT_ALU,
+    Opcode.SRL: OpClass.INT_ALU,
+    Opcode.ADDI: OpClass.INT_ALU,
+    Opcode.ANDI: OpClass.INT_ALU,
+    Opcode.ORI: OpClass.INT_ALU,
+    Opcode.XORI: OpClass.INT_ALU,
+    Opcode.SLTI: OpClass.INT_ALU,
+    Opcode.LUI: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.REM: OpClass.INT_DIV,
+    Opcode.FADD: OpClass.FP_ADD,
+    Opcode.FSUB: OpClass.FP_ADD,
+    Opcode.FMUL: OpClass.FP_MUL,
+    Opcode.FDIV: OpClass.FP_DIV,
+    Opcode.FSQRT: OpClass.FP_SQRT,
+    Opcode.FMIN: OpClass.FP_ADD,
+    Opcode.FMAX: OpClass.FP_ADD,
+    Opcode.FCVT: OpClass.FP_ADD,
+    Opcode.FMV: OpClass.FP_ADD,
+    Opcode.LOAD: OpClass.LOAD,
+    Opcode.FLOAD: OpClass.LOAD,
+    Opcode.STORE: OpClass.STORE,
+    Opcode.FSTORE: OpClass.STORE,
+    Opcode.PREFETCH: OpClass.PREFETCH,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.JUMP: OpClass.JUMP,
+    Opcode.CALL: OpClass.JUMP,
+    Opcode.RET: OpClass.JUMP,
+    Opcode.SERIAL: OpClass.SERIAL,
+    Opcode.HALT: OpClass.HALT,
+}
+
+#: Opcodes that read memory.
+MEMORY_READ_OPS = frozenset({Opcode.LOAD, Opcode.FLOAD})
+#: Opcodes that write memory.
+MEMORY_WRITE_OPS = frozenset({Opcode.STORE, Opcode.FSTORE})
+#: Opcodes with a memory effective address (incl. software prefetch).
+MEMORY_OPS = MEMORY_READ_OPS | MEMORY_WRITE_OPS | {Opcode.PREFETCH}
+#: Conditional branches.
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+#: All control-transfer opcodes.
+CONTROL_OPS = BRANCH_OPS | {Opcode.JUMP, Opcode.CALL, Opcode.RET}
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the :class:`OpClass` that the timing model uses for *op*."""
+    return _OP_CLASS[op]
+
+
+def is_memory(op: Opcode) -> bool:
+    """True if *op* computes a memory effective address."""
+    return op in MEMORY_OPS
+
+
+def is_control(op: Opcode) -> bool:
+    """True if *op* may redirect the program counter."""
+    return op in CONTROL_OPS

@@ -1,0 +1,35 @@
+"""Memory-hierarchy substrate: caches, TLBs, DRAM, and prefetching.
+
+The hierarchy matches the baseline BOOM configuration of the paper
+(Table 2): 32 KB 8-way L1 I/D caches with a next-line prefetcher, a 2 MiB
+16-way LLC, 32-entry fully-associative L1 TLBs backed by a 1024-entry L2
+TLB and a page-table walker, and a bandwidth-limited DRAM model.
+
+Timing model: a miss inserts the line immediately but marks it with a
+``ready_time``; accesses that arrive before the fill completes are
+secondary misses that wait for the remaining fill latency. MSHR counts
+bound the number of in-flight fills per cache.
+"""
+
+from repro.memory.cache import AccessResult, CacheStats, SetAssocCache
+from repro.memory.tlb import Tlb, TlbResult
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import (
+    DataAccess,
+    InstAccess,
+    MemoryConfig,
+    MemoryHierarchy,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheStats",
+    "SetAssocCache",
+    "Tlb",
+    "TlbResult",
+    "Dram",
+    "DataAccess",
+    "InstAccess",
+    "MemoryConfig",
+    "MemoryHierarchy",
+]

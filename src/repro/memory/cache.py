@@ -1,0 +1,228 @@
+"""Set-associative cache model with LRU replacement and in-flight fills.
+
+The model is timestamp-based rather than cycle-stepped: a miss at time
+``t`` installs the line with ``ready_time = t + fill_latency``; a later
+access to the same line before ``ready_time`` is a *secondary miss* that
+waits for the remaining fill. The number of concurrently filling lines is
+bounded by an MSHR count — an access that needs a new fill while all MSHRs
+are busy is delayed until the earliest outstanding fill completes.
+
+This captures the first-order behaviour TEA's evaluation depends on:
+latency hiding through memory-level parallelism, bandwidth pressure, and a
+distinction between primary and fully-hidden accesses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache statistics."""
+
+    accesses: int = 0
+    misses: int = 0
+    secondary_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Accesses that found a ready line."""
+        return self.accesses - self.misses - self.secondary_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Primary-miss rate over all accesses (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: True if the line was present and ready.
+        miss: True if a new fill had to be started (primary miss).
+        ready_time: Absolute time at which the requested data is available.
+        writeback: True if a dirty line was evicted by this access.
+        mshr_delay: Cycles the access waited for a free MSHR.
+    """
+
+    hit: bool
+    miss: bool
+    ready_time: int
+    writeback: bool = False
+    mshr_delay: int = 0
+
+    @property
+    def secondary(self) -> bool:
+        """True for a secondary miss (hit on a still-filling line)."""
+        return not self.hit and not self.miss
+
+
+class _Line:
+    """One cache line: tag, dirty bit, fill-ready time, LRU timestamp."""
+
+    __slots__ = ("tag", "dirty", "ready_time", "last_use")
+
+    def __init__(self, tag: int, ready_time: int, last_use: int) -> None:
+        self.tag = tag
+        self.dirty = False
+        self.ready_time = ready_time
+        self.last_use = last_use
+
+
+class SetAssocCache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Args:
+        name: For stats and debugging ("L1D", "LLC", ...).
+        size_bytes: Total capacity.
+        assoc: Associativity (ways per set).
+        line_bytes: Line size (must be a power of two).
+        mshrs: Maximum concurrent outstanding fills (0 = unlimited).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        mshrs: int = 0,
+    ) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"assoc*line ({assoc}*{line_bytes})"
+            )
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"{name}: line size {line_bytes} not power of 2")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        self.mshrs = mshrs
+        self.stats = CacheStats()
+        self._sets: dict[int, dict[int, _Line]] = {}
+        self._inflight: list[int] = []  # min-heap of outstanding ready_times
+
+    # ------------------------------------------------------------------
+    # Address helpers.
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned address containing *addr*."""
+        return addr & ~(self.line_bytes - 1)
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    # ------------------------------------------------------------------
+    # MSHR bookkeeping.
+    # ------------------------------------------------------------------
+    def _mshr_delay(self, now: int) -> int:
+        """Delay (cycles) until an MSHR frees up at time *now*."""
+        inflight = self._inflight
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        if self.mshrs and len(inflight) >= self.mshrs:
+            earliest = inflight[0]
+            return max(0, earliest - now)
+        return 0
+
+    def inflight_count(self, now: int) -> int:
+        """Number of fills outstanding at time *now*."""
+        inflight = self._inflight
+        while inflight and inflight[0] <= now:
+            heapq.heappop(inflight)
+        return len(inflight)
+
+    # ------------------------------------------------------------------
+    # Access.
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        addr: int,
+        now: int,
+        fill_latency: int,
+        is_write: bool = False,
+        is_prefetch: bool = False,
+    ) -> AccessResult:
+        """Access the cache at absolute time *now*.
+
+        On a miss the caller-provided *fill_latency* (time for the next
+        level to provide the line, already including queueing there) is
+        used to set the new line's ready time.
+
+        Returns:
+            An :class:`AccessResult`; ``ready_time`` is when the data is
+            usable by the requester.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        set_index, tag = self._index_tag(addr)
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = {}
+            self._sets[set_index] = cache_set
+
+        line = cache_set.get(tag)
+        if line is not None:
+            line.last_use = now
+            if is_write:
+                line.dirty = True
+            if line.ready_time <= now:
+                return AccessResult(hit=True, miss=False, ready_time=now)
+            # Secondary miss: wait for the in-flight fill.
+            stats.secondary_misses += 1
+            return AccessResult(
+                hit=False, miss=False, ready_time=line.ready_time
+            )
+
+        # Primary miss: wait for an MSHR, then start the fill.
+        stats.misses += 1
+        if is_prefetch:
+            stats.prefetch_fills += 1
+        mshr_delay = self._mshr_delay(now)
+        start = now + mshr_delay
+        ready = start + fill_latency
+        heapq.heappush(self._inflight, ready)
+
+        writeback = False
+        if len(cache_set) >= self.assoc:
+            victim_tag = min(
+                cache_set, key=lambda t: cache_set[t].last_use
+            )
+            victim = cache_set.pop(victim_tag)
+            stats.evictions += 1
+            if victim.dirty:
+                stats.writebacks += 1
+                writeback = True
+
+        new_line = _Line(tag, ready, now)
+        if is_write:
+            new_line.dirty = True
+        cache_set[tag] = new_line
+        return AccessResult(
+            hit=False,
+            miss=True,
+            ready_time=ready,
+            writeback=writeback,
+            mshr_delay=mshr_delay,
+        )
+
+    def probe(self, addr: int) -> bool:
+        """True if *addr*'s line is present (ready or filling); no effects."""
+        set_index, tag = self._index_tag(addr)
+        return tag in self._sets.get(set_index, {})
+
+    def reset(self) -> None:
+        """Drop all lines and statistics."""
+        self._sets.clear()
+        self._inflight.clear()
+        self.stats = CacheStats()

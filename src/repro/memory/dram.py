@@ -1,0 +1,73 @@
+"""DRAM model: fixed access latency plus a bandwidth-limited channel.
+
+The paper's memory (Table 2) is 16 GB/s DDR3 at 3.2 GHz core clock: one
+64-byte line every ~12.8 core cycles at peak. We model a single channel
+with a service slot per line transfer; requests queue FIFO behind the
+channel's next-free time, which produces the store-bandwidth bottleneck
+that dominates the lbm case study (Fig 11) once loads are prefetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    """Aggregate DRAM statistics."""
+
+    reads: int = 0
+    writes: int = 0
+    total_queue_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total line transfers."""
+        return self.reads + self.writes
+
+    @property
+    def avg_queue_delay(self) -> float:
+        """Mean cycles spent waiting for the channel (0 when idle)."""
+        return (
+            self.total_queue_cycles / self.accesses if self.accesses else 0.0
+        )
+
+
+class Dram:
+    """Single-channel DRAM with fixed latency and line-rate bandwidth.
+
+    Args:
+        latency: Cycles from request issue to first data (row activate,
+            CAS, transfer start).
+        cycles_per_line: Channel occupancy per 64-byte line transfer; this
+            sets the bandwidth ceiling.
+    """
+
+    def __init__(self, latency: int = 110, cycles_per_line: int = 13) -> None:
+        self.latency = latency
+        self.cycles_per_line = cycles_per_line
+        self.stats = DramStats()
+        self._next_free = 0
+
+    def access(self, now: int, is_write: bool = False) -> int:
+        """Request one line at time *now*; return its total latency.
+
+        The returned latency includes queueing behind earlier transfers.
+        Writes (cache writebacks) consume bandwidth but their latency is
+        not on any load's critical path; the caller decides whether to
+        propagate it.
+        """
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        start = max(now, self._next_free)
+        queue_delay = start - now
+        self.stats.total_queue_cycles += queue_delay
+        self._next_free = start + self.cycles_per_line
+        return queue_delay + self.latency
+
+    def reset(self) -> None:
+        """Clear channel state and statistics."""
+        self._next_free = 0
+        self.stats = DramStats()

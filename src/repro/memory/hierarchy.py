@@ -1,0 +1,321 @@
+"""The full memory hierarchy facade used by the core timing model.
+
+Composes L1 I/D caches, L1 I/D TLBs, a shared L2 TLB, the LLC, the DRAM
+channel, and the L1D next-line prefetcher (Table 2 of the paper). The core
+calls :meth:`MemoryHierarchy.access_load`, :meth:`access_store`,
+:meth:`access_inst`, and :meth:`prefetch`; results carry the event flags
+that the core turns into PSV bits (ST-L1, ST-LLC, ST-TLB, DR-L1, DR-TLB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.dram import Dram
+from repro.memory.tlb import L2Tlb, Tlb
+
+
+@dataclass
+class MemoryConfig:
+    """Memory-hierarchy parameters (defaults: paper Table 2).
+
+    Latencies are in core cycles at the paper's 3.2 GHz clock.
+    """
+
+    line_bytes: int = 64
+    page_bytes: int = 4096
+
+    l1i_size: int = 32 * 1024
+    l1i_assoc: int = 8
+    l1i_latency: int = 1  # hit is pipelined into fetch
+    l1i_mshrs: int = 8
+    l1i_prefetch_depth: int = 3  # sequential fetch-ahead distance
+
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 8
+    l1d_latency: int = 3  # load-to-use on a hit
+    l1d_miss_detect: int = 2
+    l1d_mshrs: int = 16
+    next_line_prefetch: bool = True
+
+    llc_size: int = 2 * 1024 * 1024
+    llc_assoc: int = 16
+    llc_latency: int = 14
+    llc_miss_detect: int = 4
+    llc_mshrs: int = 12
+
+    itlb_entries: int = 32
+    dtlb_entries: int = 32
+    l2_tlb_entries: int = 1024
+    tlb_l2_latency: int = 8
+    tlb_walk_latency: int = 69
+
+    dram_latency: int = 110
+    dram_cycles_per_line: int = 13
+
+
+@dataclass(slots=True)
+class DataAccess:
+    """Outcome of a data-side access.
+
+    Attributes:
+        ready_time: Absolute cycle at which the data (load) or line
+            ownership (store) is available.
+        l1_miss: The access was subjected to an L1D miss (primary or a
+            secondary miss that had to wait on an in-flight fill).
+        llc_miss: The access was subjected to an LLC miss.
+        tlb_miss: The access missed in the L1 D-TLB.
+    """
+
+    ready_time: int
+    l1_miss: bool = False
+    llc_miss: bool = False
+    tlb_miss: bool = False
+
+
+@dataclass(slots=True)
+class InstAccess:
+    """Outcome of an instruction-fetch access.
+
+    Attributes:
+        ready_time: Absolute cycle at which the fetch packet is available.
+        icache_miss: The fetch was subjected to an L1I miss.
+        itlb_miss: The fetch missed in the L1 I-TLB.
+    """
+
+    ready_time: int
+    icache_miss: bool = False
+    itlb_miss: bool = False
+
+
+class MemoryHierarchy:
+    """L1I + L1D + LLC + TLBs + DRAM, with the L1D next-line prefetcher.
+
+    Args:
+        config: Hierarchy parameters (Table 2 defaults).
+        shared_llc: Use this LLC instead of building a private one --
+            multicore systems pass one LLC to every core's hierarchy.
+        shared_dram: Likewise for the DRAM channel.
+    """
+
+    def __init__(
+        self,
+        config: MemoryConfig | None = None,
+        shared_llc: SetAssocCache | None = None,
+        shared_dram: Dram | None = None,
+    ) -> None:
+        self.config = config or MemoryConfig()
+        cfg = self.config
+        self.l1i = SetAssocCache(
+            "L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.line_bytes, cfg.l1i_mshrs
+        )
+        self.l1d = SetAssocCache(
+            "L1D", cfg.l1d_size, cfg.l1d_assoc, cfg.line_bytes, cfg.l1d_mshrs
+        )
+        self.llc = shared_llc or SetAssocCache(
+            "LLC", cfg.llc_size, cfg.llc_assoc, cfg.line_bytes, cfg.llc_mshrs
+        )
+        self._llc_shared = shared_llc is not None
+        self._dram_shared = shared_dram is not None
+        self.l2_tlb = L2Tlb(cfg.l2_tlb_entries)
+        self.itlb = Tlb(
+            "ITLB",
+            cfg.itlb_entries,
+            self.l2_tlb,
+            cfg.page_bytes,
+            cfg.tlb_l2_latency,
+            cfg.tlb_walk_latency,
+        )
+        self.dtlb = Tlb(
+            "DTLB",
+            cfg.dtlb_entries,
+            self.l2_tlb,
+            cfg.page_bytes,
+            cfg.tlb_l2_latency,
+            cfg.tlb_walk_latency,
+        )
+        self.dram = shared_dram or Dram(
+            cfg.dram_latency, cfg.dram_cycles_per_line
+        )
+        # line address -> whether its in-flight L1 fill also missed the LLC
+        # (lets secondary misses report ST-LLC); lazily pruned.
+        self._fill_was_llc_miss: dict[int, tuple[int, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # Internal: LLC + DRAM path shared by all L1 fills.
+    # ------------------------------------------------------------------
+    def _fill_from_llc(
+        self, addr: int, now: int, is_write: bool
+    ) -> tuple[int, bool]:
+        """Fetch a line from LLC/DRAM at *now*; return (ready, llc_missed)."""
+        cfg = self.config
+        if self.llc.probe(addr):
+            res = self.llc.access(addr, now, 0, is_write=is_write)
+            # Hit (possibly on a still-filling line).
+            ready = max(res.ready_time, now) + cfg.llc_latency
+            llc_missed = res.ready_time > now + cfg.llc_latency
+            return ready, llc_missed
+        dram_at = now + cfg.llc_miss_detect
+        dram_latency = self.dram.access(dram_at)
+        fill_latency = cfg.llc_miss_detect + dram_latency
+        res = self.llc.access(addr, now, fill_latency, is_write=is_write)
+        if res.writeback:
+            self.dram.access(res.ready_time, is_write=True)
+        return res.ready_time + res.mshr_delay, True
+
+    def _l1d_fill(
+        self, addr: int, now: int, is_write: bool, is_prefetch: bool = False
+    ) -> DataAccess:
+        """L1D access with fill-through from LLC/DRAM on a miss."""
+        cfg = self.config
+        line = self.l1d.line_addr(addr)
+        if self.l1d.probe(addr):
+            res = self.l1d.access(addr, now, 0, is_write=is_write)
+            if res.hit:
+                return DataAccess(ready_time=now + cfg.l1d_latency)
+            # Secondary miss: wait for the in-flight fill.
+            entry = self._fill_was_llc_miss.get(line)
+            llc_missed = entry[1] if entry else False
+            return DataAccess(
+                ready_time=res.ready_time,
+                l1_miss=True,
+                llc_miss=llc_missed,
+            )
+        miss_at = now + cfg.l1d_miss_detect
+        fill_ready, llc_missed = self._fill_from_llc(line, miss_at, False)
+        res = self.l1d.access(
+            addr,
+            now,
+            fill_ready - now,
+            is_write=is_write,
+            is_prefetch=is_prefetch,
+        )
+        self._fill_was_llc_miss[line] = (res.ready_time, llc_missed)
+        if len(self._fill_was_llc_miss) > 4096:
+            self._prune_fill_map(now)
+        return DataAccess(
+            ready_time=res.ready_time,
+            l1_miss=True,
+            llc_miss=llc_missed,
+        )
+
+    def _prune_fill_map(self, now: int) -> None:
+        self._fill_was_llc_miss = {
+            line: entry
+            for line, entry in self._fill_was_llc_miss.items()
+            if entry[0] > now
+        }
+
+    # ------------------------------------------------------------------
+    # Public data-side API.
+    # ------------------------------------------------------------------
+    def access_load(self, addr: int, now: int) -> DataAccess:
+        """Execute a load at absolute cycle *now*."""
+        tlb = self.dtlb.lookup(addr)
+        start = now + tlb.latency
+        access = self._l1d_fill(addr, start, is_write=False)
+        access.tlb_miss = not tlb.hit
+        if (
+            access.l1_miss
+            and self.config.next_line_prefetch
+        ):
+            self._next_line_prefetch(addr, start)
+        return access
+
+    def access_store(
+        self, addr: int, now: int, translate: bool = True
+    ) -> DataAccess:
+        """Drain a committed store into the L1D at absolute cycle *now*.
+
+        Write-allocate: a store miss fetches the line through the LLC and
+        DRAM and holds the store-queue entry until the line arrives.
+
+        Args:
+            addr: Byte address of the store.
+            now: Absolute cycle the drain starts.
+            translate: Perform D-TLB translation here. The core passes
+                False because translation already happened at the store's
+                address-generation µop.
+        """
+        start = now
+        tlb_missed = False
+        if translate:
+            tlb = self.dtlb.lookup(addr)
+            start = now + tlb.latency
+            tlb_missed = not tlb.hit
+        access = self._l1d_fill(addr, start, is_write=True)
+        access.tlb_miss = tlb_missed
+        return access
+
+    def prefetch(self, addr: int, now: int) -> None:
+        """Software prefetch: pull *addr*'s line toward the L1D."""
+        tlb = self.dtlb.lookup(addr)
+        start = now + tlb.latency
+        if not self.l1d.probe(addr):
+            self._l1d_fill(addr, start, is_write=False, is_prefetch=True)
+
+    def _next_line_prefetch(self, addr: int, now: int) -> None:
+        """Hardware next-line prefetch into the L1D after a demand miss."""
+        next_line = self.l1d.line_addr(addr) + self.config.line_bytes
+        if not self.l1d.probe(next_line):
+            self._l1d_fill(next_line, now, is_write=False, is_prefetch=True)
+
+    # ------------------------------------------------------------------
+    # Public instruction-side API.
+    # ------------------------------------------------------------------
+    def access_inst(self, addr: int, now: int) -> InstAccess:
+        """Fetch the instruction line containing *addr* at cycle *now*.
+
+        Demand misses trigger a next-line instruction prefetch (sequential
+        fetch-ahead, as in the BOOM front end) so straight-line code does
+        not pay the full miss latency per line.
+        """
+        cfg = self.config
+        tlb = self.itlb.lookup(addr)
+        start = now + tlb.latency
+        if self.l1i.probe(addr):
+            res = self.l1i.access(addr, start, 0)
+            if res.hit:
+                return InstAccess(
+                    ready_time=start + cfg.l1i_latency,
+                    itlb_miss=not tlb.hit,
+                )
+            self._prefetch_next_inst_line(addr, start)
+            return InstAccess(
+                ready_time=res.ready_time,
+                icache_miss=True,
+                itlb_miss=not tlb.hit,
+            )
+        line = self.l1i.line_addr(addr)
+        fill_ready, _ = self._fill_from_llc(line, start, False)
+        res = self.l1i.access(addr, start, fill_ready - start)
+        self._prefetch_next_inst_line(addr, start)
+        return InstAccess(
+            ready_time=res.ready_time,
+            icache_miss=True,
+            itlb_miss=not tlb.hit,
+        )
+
+    def _prefetch_next_inst_line(self, addr: int, now: int) -> None:
+        """Sequential fetch-ahead: pull the next code lines into the L1I."""
+        cfg = self.config
+        for ahead in range(1, cfg.l1i_prefetch_depth + 1):
+            next_line = self.l1i.line_addr(addr) + ahead * cfg.line_bytes
+            if self.l1i.probe(next_line):
+                continue
+            fill_ready, _ = self._fill_from_llc(next_line, now, False)
+            self.l1i.access(
+                next_line, now, fill_ready - now, is_prefetch=True
+            )
+
+    def reset(self) -> None:
+        """Reset every component (caches, TLBs, DRAM, bookkeeping)."""
+        self.l1i.reset()
+        self.l1d.reset()
+        self.llc.reset()
+        self.itlb.reset()
+        self.dtlb.reset()
+        self.l2_tlb.reset()
+        self.dram.reset()
+        self._fill_was_llc_miss.clear()

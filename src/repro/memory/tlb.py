@@ -1,0 +1,135 @@
+"""TLB models: L1 I/D TLBs, a shared L2 TLB, and page-table-walk latency.
+
+The paper's baseline (Table 2) has 32-entry fully-associative L1 I/D TLBs,
+a 1024-entry direct-mapped L2 TLB, and a hardware page-table walker. TLB
+fills are modelled as blocking: a miss charges the refill latency to the
+requesting access and installs the translation immediately afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class TlbResult:
+    """Outcome of a TLB lookup.
+
+    Attributes:
+        hit: True if the L1 TLB had the translation.
+        latency: Extra cycles charged to the access (0 on a hit).
+        l2_hit: On an L1 miss, whether the L2 TLB provided the translation
+            (False means a full page-table walk was required).
+    """
+
+    hit: bool
+    latency: int
+    l2_hit: bool = False
+
+
+@dataclass
+class TlbStats:
+    """Aggregate TLB statistics."""
+
+    accesses: int = 0
+    misses: int = 0
+    walks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """L1 TLB miss rate (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """An L1 TLB backed by a shared L2 TLB and page-table walker.
+
+    Args:
+        name: "DTLB" or "ITLB".
+        entries: L1 TLB entry count (fully associative, LRU).
+        l2: Shared :class:`L2Tlb` (may be shared between I and D sides).
+        page_bytes: Page size.
+        l2_latency: Cycles for an L1-miss/L2-hit refill.
+        walk_latency: Cycles for a full page-table walk.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entries: int,
+        l2: "L2Tlb | None" = None,
+        page_bytes: int = 4096,
+        l2_latency: int = 8,
+        walk_latency: int = 69,
+    ) -> None:
+        self.name = name
+        self.entries = entries
+        self.l2 = l2
+        self.page_bytes = page_bytes
+        self.l2_latency = l2_latency
+        self.walk_latency = walk_latency
+        self.stats = TlbStats()
+        self._map: dict[int, int] = {}  # vpn -> last_use
+        self._tick = 0
+
+    def page_of(self, addr: int) -> int:
+        """Virtual page number of a byte address."""
+        return addr // self.page_bytes
+
+    def lookup(self, addr: int) -> TlbResult:
+        """Translate *addr*; on a miss, refill through L2/page walker."""
+        self.stats.accesses += 1
+        self._tick += 1
+        vpn = self.page_of(addr)
+        if vpn in self._map:
+            self._map[vpn] = self._tick
+            return TlbResult(hit=True, latency=0)
+
+        self.stats.misses += 1
+        l2_hit = self.l2.lookup(vpn) if self.l2 is not None else False
+        if l2_hit:
+            latency = self.l2_latency
+        else:
+            latency = self.walk_latency
+            self.stats.walks += 1
+            if self.l2 is not None:
+                self.l2.insert(vpn)
+        if len(self._map) >= self.entries:
+            victim = min(self._map, key=self._map.get)
+            del self._map[victim]
+        self._map[vpn] = self._tick
+        return TlbResult(hit=False, latency=latency, l2_hit=l2_hit)
+
+    def reset(self) -> None:
+        """Drop all translations and statistics."""
+        self._map.clear()
+        self.stats = TlbStats()
+        self._tick = 0
+
+
+class L2Tlb:
+    """Direct-mapped second-level TLB shared by the I and D sides."""
+
+    def __init__(self, entries: int = 1024) -> None:
+        self.entries = entries
+        self._slots: dict[int, int] = {}  # slot index -> vpn
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, vpn: int) -> bool:
+        """True if the translation for *vpn* is resident."""
+        if self._slots.get(vpn % self.entries) == vpn:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, vpn: int) -> None:
+        """Install the translation for *vpn* (direct-mapped: may evict)."""
+        self._slots[vpn % self.entries] = vpn
+
+    def reset(self) -> None:
+        """Drop all translations and statistics."""
+        self._slots.clear()
+        self.hits = 0
+        self.misses = 0

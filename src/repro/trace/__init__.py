@@ -1,0 +1,35 @@
+"""Sample collection plane: binary sample logs and offline PICS rebuild.
+
+In the paper, the sampling interrupt handler writes each TEA sample
+(timestamp, flags, instruction address(es), PSV(s) -- 88 bytes) to a
+memory buffer that is flushed to a file; a post-processing tool turns the
+file into PICS. This package is that path: attach a
+:class:`SampleWriter` as a sampler's ``sink`` to log captures, then
+rebuild the profile offline with :func:`read_profile`.
+"""
+
+from repro.trace.samples import (
+    SampleReader,
+    SampleRecord,
+    SampleWriter,
+    read_profile,
+)
+from repro.trace.cycletrace import (
+    CommitRecord,
+    CycleTrace,
+    CyclesRecord,
+    read_trace,
+    replay_golden,
+)
+
+__all__ = [
+    "SampleReader",
+    "SampleRecord",
+    "SampleWriter",
+    "read_profile",
+    "CommitRecord",
+    "CycleTrace",
+    "CyclesRecord",
+    "read_trace",
+    "replay_golden",
+]

@@ -1,0 +1,187 @@
+"""TraceDoctor-style cycle traces with offline attribution replay.
+
+The paper captures cycle-by-cycle commit-stage traces with TraceDoctor
+and models every analysis approach out-of-band on the host. This module
+is that plane: attach a :class:`CycleTrace` to a core and it records
+
+* one record per (run of identical) commit-state cycle(s), carrying the
+  ROB-head sequence number for Stalled cycles, and
+* one record per commit group, carrying each µop's sequence number,
+  static index, and *final* PSV,
+
+which is sufficient to re-derive the complete golden-reference PICS
+*offline* with :func:`replay_golden` -- an implementation of the
+attribution policy that shares no code with the core's built-in
+accounting. The test suite replays traces and checks bit-exact
+agreement, cross-validating both implementations.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.core.states import CommitState
+
+#: Record kinds.
+KIND_CYCLES = 0
+KIND_COMMIT = 1
+
+_CYCLES_REC = struct.Struct("<BBIq")  # kind, state, count, head_seq
+_COMMIT_HDR = struct.Struct("<BB")  # kind, group size
+_COMMIT_ENTRY = struct.Struct("<qIH")  # seq, index, psv
+_MAGIC = b"TEACYC1\n"
+
+
+@dataclass
+class CyclesRecord:
+    """A run of *count* consecutive cycles in one commit state."""
+
+    state: CommitState
+    count: int
+    head_seq: int  # ROB-head dynamic seq for STALLED cycles, else -1
+
+
+@dataclass
+class CommitRecord:
+    """One commit group: (seq, static index, final PSV) per µop."""
+
+    uops: list[tuple[int, int, int]]
+
+
+class CycleTrace:
+    """Collects cycle/commit records from a core (and optionally streams
+    them to a binary file)."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.records: list[CyclesRecord | CommitRecord] = []
+        self._file: BinaryIO | None = None
+        if path is not None:
+            self._file = open(path, "wb")
+            self._file.write(_MAGIC)
+
+    # Hooks called by the core -----------------------------------------
+    def on_cycles(
+        self, state: CommitState, count: int, head_seq: int
+    ) -> None:
+        """Record *count* cycles spent in *state*."""
+        record = CyclesRecord(state, count, head_seq)
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(
+                _CYCLES_REC.pack(
+                    KIND_CYCLES, int(state), count, head_seq
+                )
+            )
+
+    def on_commit(self, uops: list[tuple[int, int, int]]) -> None:
+        """Record one commit group of (seq, index, final psv)."""
+        record = CommitRecord(list(uops))
+        self.records.append(record)
+        if self._file is not None:
+            self._file.write(_COMMIT_HDR.pack(KIND_COMMIT, len(uops)))
+            for seq, index, psv in uops:
+                self._file.write(_COMMIT_ENTRY.pack(seq, index, psv))
+
+    def close(self) -> None:
+        """Close the backing file, if any."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_trace(path: str | Path) -> list[CyclesRecord | CommitRecord]:
+    """Load a binary cycle trace written by :class:`CycleTrace`.
+
+    Raises:
+        ValueError: On a bad magic or a truncated file.
+    """
+    records: list[CyclesRecord | CommitRecord] = []
+    with open(path, "rb") as handle:
+        if handle.read(len(_MAGIC)) != _MAGIC:
+            raise ValueError("not a TEA cycle trace")
+        while True:
+            kind_byte = handle.read(1)
+            if not kind_byte:
+                return records
+            kind = kind_byte[0]
+            if kind == KIND_CYCLES:
+                rest = handle.read(_CYCLES_REC.size - 1)
+                if len(rest) < _CYCLES_REC.size - 1:
+                    raise ValueError("truncated cycle trace")
+                _, state, count, head_seq = _CYCLES_REC.unpack(
+                    kind_byte + rest
+                )
+                records.append(
+                    CyclesRecord(CommitState(state), count, head_seq)
+                )
+            elif kind == KIND_COMMIT:
+                size_byte = handle.read(1)
+                if not size_byte:
+                    raise ValueError("truncated cycle trace")
+                uops = []
+                for _ in range(size_byte[0]):
+                    blob = handle.read(_COMMIT_ENTRY.size)
+                    if len(blob) < _COMMIT_ENTRY.size:
+                        raise ValueError("truncated cycle trace")
+                    uops.append(_COMMIT_ENTRY.unpack(blob))
+                records.append(CommitRecord(uops))
+            else:
+                raise ValueError(f"unknown record kind {kind}")
+
+
+def replay_golden(
+    records: list[CyclesRecord | CommitRecord],
+) -> dict[tuple[int, int], float]:
+    """Re-derive the golden-reference raw profile from a cycle trace.
+
+    Implements the paper's attribution policy from scratch:
+
+    * Compute cycles: 1/n to each µop of the commit group;
+    * Stalled cycles: accumulated against the head µop's sequence
+      number, attributed with its final PSV when it commits;
+    * Drained cycles: accumulated and attributed to the next-committing
+      µop;
+    * Flushed cycles: attributed to the last-committed µop.
+    """
+    raw: dict[tuple[int, int], float] = {}
+    stall_by_seq: dict[int, int] = {}
+    pending_drain = 0
+    last_committed: tuple[int, int] | None = None
+
+    def add(index: int, psv: int, weight: float) -> None:
+        key = (index, psv)
+        raw[key] = raw.get(key, 0.0) + weight
+
+    for record in records:
+        if isinstance(record, CyclesRecord):
+            if record.state == CommitState.STALLED:
+                stall_by_seq[record.head_seq] = (
+                    stall_by_seq.get(record.head_seq, 0) + record.count
+                )
+            elif record.state == CommitState.DRAINED:
+                pending_drain += record.count
+            elif record.state == CommitState.FLUSHED:
+                if last_committed is None:
+                    pending_drain += record.count
+                else:
+                    add(*last_committed, record.count)
+            # Compute cycles are carried by the commit records.
+        else:
+            share = 1.0 / len(record.uops)
+            first_seq, first_index, first_psv = record.uops[0]
+            if pending_drain:
+                add(first_index, first_psv, pending_drain)
+                pending_drain = 0
+            for seq, index, psv in record.uops:
+                add(index, psv, share)
+                stalled = stall_by_seq.pop(seq, 0)
+                if stalled:
+                    add(index, psv, stalled)
+            last_committed = (
+                record.uops[-1][1],
+                record.uops[-1][2],
+            )
+    return raw

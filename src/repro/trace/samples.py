@@ -1,0 +1,121 @@
+"""Binary sample-log format and offline profile reconstruction.
+
+Record layout (little-endian, 14 bytes per capture)::
+
+    uint32  instruction index
+    uint16  PSV signature
+    float64 weight (cycles attributed by this capture)
+
+A file starts with an 8-byte magic + a UTF-8 technique-name block. The
+format intentionally stores *captures* (post-attribution) rather than raw
+interrupts: it is the file the paper's post-processing tool consumes.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.core.pics import PicsProfile
+
+_MAGIC = b"TEASAMP1"
+_RECORD = struct.Struct("<IHd")
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One logged sample capture."""
+
+    index: int
+    psv: int
+    weight: float
+
+
+class SampleWriter:
+    """Writes sample captures to a binary log.
+
+    Usable as a sampler ``sink`` (see :class:`repro.core.samplers.
+    Sampler`): every capture is appended to the log as it happens.
+    """
+
+    def __init__(self, path: str | Path | BinaryIO, name: str) -> None:
+        if isinstance(path, (str, Path)):
+            self._file: BinaryIO = open(path, "wb")
+            self._owns = True
+        else:
+            self._file = path
+            self._owns = False
+        name_bytes = name.encode("utf-8")
+        self._file.write(_MAGIC)
+        self._file.write(struct.pack("<H", len(name_bytes)))
+        self._file.write(name_bytes)
+        self.records_written = 0
+
+    def write(self, index: int, psv: int, weight: float) -> None:
+        """Append one capture."""
+        self._file.write(_RECORD.pack(index, psv, weight))
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close (if this writer owns the file object)."""
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "SampleWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SampleReader:
+    """Reads a binary sample log written by :class:`SampleWriter`."""
+
+    def __init__(self, path: str | Path | BinaryIO) -> None:
+        if isinstance(path, (str, Path)):
+            self._file: BinaryIO = open(path, "rb")
+            self._owns = True
+        else:
+            self._file = path
+            self._owns = False
+        magic = self._file.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"not a TEA sample log (magic {magic!r})")
+        (name_len,) = struct.unpack("<H", self._file.read(2))
+        self.name = self._file.read(name_len).decode("utf-8")
+
+    def __iter__(self) -> Iterator[SampleRecord]:
+        record_size = _RECORD.size
+        while True:
+            blob = self._file.read(record_size)
+            if len(blob) < record_size:
+                if blob:
+                    raise ValueError("truncated sample log")
+                return
+            index, psv, weight = _RECORD.unpack(blob)
+            yield SampleRecord(index, psv, weight)
+
+    def close(self) -> None:
+        """Close the underlying file (if owned)."""
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "SampleReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_profile(path: str | Path | BinaryIO) -> PicsProfile:
+    """Rebuild a :class:`PicsProfile` from a sample log (offline path)."""
+    with SampleReader(path) as reader:
+        raw: dict[tuple[int, int], float] = {}
+        for record in reader:
+            key = (record.index, record.psv)
+            raw[key] = raw.get(key, 0.0) + record.weight
+        return PicsProfile.from_raw(reader.name, raw)

@@ -1,0 +1,982 @@
+"""The cycle-level out-of-order core timing model.
+
+Trace-driven: the functional interpreter supplies the committed dynamic
+instruction stream; this model adds speculation and timing on top. Each
+simulated cycle proceeds commit -> classify/attribute -> sample -> issue ->
+dispatch -> fetch -> store drain; when a cycle makes no progress the model
+jumps directly to the next scheduled event, attributing the skipped cycles
+to the (necessarily unchanged) commit state. This fast-forwarding is exact
+with respect to golden attribution and sampling because the commit-stage
+state cannot change without one of the scheduled events firing.
+
+Golden-reference attribution (every cycle, every instruction -- the
+paper's unimplementable baseline) is built into the core; statistical
+samplers from :mod:`repro.core.samplers` attach on top and observe the
+same cycles, mirroring the paper's out-of-band TraceDoctor methodology.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.branch.predictor import BranchPredictor
+from repro.core.events import Event
+from repro.core.pics import PicsProfile
+from repro.core.states import CommitState
+from repro.isa.instructions import INST_BYTES, NO_REG, DynInst
+from repro.isa.interpreter import ArchState, Interpreter
+from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.uop import Uop
+
+# Event-heap record kinds.
+_EV_COMPLETE = 0
+_EV_SQ_FREE = 1
+
+# PSV bit masks used inline for speed.
+_BIT_DR_L1 = 1 << Event.DR_L1
+_BIT_DR_TLB = 1 << Event.DR_TLB
+_BIT_DR_SQ = 1 << Event.DR_SQ
+_BIT_FL_MB = 1 << Event.FL_MB
+_BIT_FL_EX = 1 << Event.FL_EX
+_BIT_FL_MO = 1 << Event.FL_MO
+_BIT_ST_L1 = 1 << Event.ST_L1
+_BIT_ST_TLB = 1 << Event.ST_TLB
+_BIT_ST_LLC = 1 << Event.ST_LLC
+
+
+class SimulationError(RuntimeError):
+    """Raised when the timing model deadlocks or diverges."""
+
+
+@dataclass
+class FlushStats:
+    """Pipeline-flush counts by cause."""
+
+    mispredicts: int = 0
+    serial: int = 0
+    ordering: int = 0
+
+    @property
+    def total(self) -> int:
+        """All flushes."""
+        return self.mispredicts + self.serial + self.ordering
+
+
+@dataclass
+class CoreResult:
+    """Everything a completed simulation produced."""
+
+    program: Program
+    cycles: int
+    committed: int
+    golden_raw: dict[tuple[int, int], float]
+    event_counts: dict[tuple[int, int], int]
+    exec_counts: dict[int, int]
+    stall_histogram: Counter
+    evented_execs: int
+    combined_execs: int
+    flushes: FlushStats
+    hierarchy: MemoryHierarchy
+    predictor: BranchPredictor
+    samplers: list = field(default_factory=list)
+    state_cycles: dict[CommitState, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def golden_profile(self) -> PicsProfile:
+        """Golden-reference PICS at instruction granularity."""
+        return PicsProfile.from_raw("golden", self.golden_raw)
+
+    def sampler_profile(self, name: str) -> PicsProfile:
+        """The PICS profile of an attached sampler, by technique name.
+
+        Raises:
+            KeyError: If no attached sampler has that name.
+        """
+        for sampler in self.samplers:
+            if sampler.name == name:
+                return sampler.profile()
+        raise KeyError(f"no sampler named {name!r}")
+
+    def combined_event_fraction(self) -> float:
+        """Fraction of evented dynamic executions with combined events."""
+        if not self.evented_execs:
+            return 0.0
+        return self.combined_execs / self.evented_execs
+
+    def cpi_stack(self) -> dict[CommitState, float]:
+        """Application-level cycle stack: share of cycles per commit
+        state (the coarse, per-instruction-blind view of classic
+        CPI-stack PMU architectures -- paper Section 7)."""
+        if not self.cycles:
+            return {state: 0.0 for state in CommitState}
+        return {
+            state: count / self.cycles
+            for state, count in self.state_cycles.items()
+        }
+
+
+class Core:
+    """One simulated core executing one program.
+
+    Args:
+        program: The program to run.
+        config: Core configuration (Table 2 defaults).
+        samplers: Statistical samplers to attach (observe the run).
+        arch_state: Pre-initialised architectural state for the functional
+            interpreter (workloads use this for array setup).
+        max_insts: Functional-execution divergence bound.
+        fast_forward: Jump over no-progress cycles in bulk (default).
+            Disabling it steps every cycle individually -- much slower
+            but byte-identical in results; the property tests verify
+            that equivalence.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: CoreConfig | None = None,
+        samplers: Iterable = (),
+        arch_state: ArchState | None = None,
+        max_insts: int = 50_000_000,
+        fast_forward: bool = True,
+        cycle_trace=None,
+        hierarchy: MemoryHierarchy | None = None,
+    ) -> None:
+        self.program = program
+        self.fast_forward = fast_forward
+        #: Optional TraceDoctor-style sink (repro.trace.CycleTrace).
+        self.cycle_trace = cycle_trace
+        self.config = config or CoreConfig()
+        self.samplers = list(samplers)
+        # An injected hierarchy lets multicore systems share the LLC
+        # and DRAM channel between per-core hierarchies.
+        self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
+        self.predictor = BranchPredictor(self.config.branch)
+        self._queue_by_op = {
+            op: self.config.queue_of(op_class(op)) for op in Opcode
+        }
+        self._interp = Interpreter(program, arch_state, max_insts)
+        self._source: Iterator[DynInst] = self._interp.run()
+        self._source_done = False
+        self._replay: deque[DynInst] = deque()
+
+        # Pipeline structures.
+        self.cycle = 0
+        self.rob: deque[Uop] = deque()
+        self.fetch_buffer: deque[Uop] = deque()
+        self._events: list[tuple[int, int, int, Uop]] = []
+        self._ready: dict[str, list[tuple[int, int, Uop]]] = {
+            "int": [],
+            "mem": [],
+            "fp": [],
+        }
+        self._iq_occ = {"int": 0, "mem": 0, "fp": 0}
+        self._lq_occ = 0
+        self._sq_occ = 0
+        self._last_writer: dict[int, Uop] = {}
+        self._store_addr_map: dict[int, list[Uop]] = {}
+        self._executed_loads: dict[int, list[Uop]] = {}
+        self._drain_queue: deque[Uop] = deque()
+        self._drain_port_free = 0
+        self._unit_free = {
+            OpClass.INT_DIV: 0,
+            OpClass.FP_DIV: 0,
+            OpClass.FP_SQRT: 0,
+        }
+
+        # Fetch state.
+        self._fetch_stall_until = 0
+        self._current_fetch_line = -1
+        self._waiting_branch: Uop | None = None
+        self._pending_fetch_psv = 0
+        self._mo_seqs: set[int] = set()
+
+        # Commit-state plumbing (visible to samplers).
+        self.commit_state: CommitState = CommitState.DRAINED
+        self.committing_now: list[Uop] = []
+        self.rob_head: Uop | None = None
+        self.flush_blame: tuple[int, int] = (-1, 0)
+        self._empty_is_flush = False
+        self._last_committed: tuple[int, int] | None = None
+
+        # Golden attribution and statistics.
+        self.golden_raw: dict[tuple[int, int], float] = {}
+        self._pending_drain = 0.0
+        self._drain_waiters: list[tuple] = []
+        self._dispatch_tag_waiters: list[tuple] = []
+        self._fetch_tag_waiters: list[tuple] = []
+        self.event_counts: dict[tuple[int, int], int] = {}
+        self.exec_counts: dict[int, int] = {}
+        # Application-level cycle stack: cycles per commit state (the
+        # coarse CPI-stack view of Eyerman et al. that the paper's
+        # related work discusses).
+        self.state_cycles: dict[CommitState, int] = {
+            state: 0 for state in CommitState
+        }
+        self.stall_histogram: Counter = Counter()
+        self.evented_execs = 0
+        self.combined_execs = 0
+        self.flushes = FlushStats()
+        self.committed_total = 0
+
+    # ==================================================================
+    # Dynamic-instruction stream with replay (for flush re-fetch).
+    # ==================================================================
+    def _peek_dyn(self) -> DynInst | None:
+        if self._replay:
+            return self._replay[0]
+        if self._source_done:
+            return None
+        try:
+            dyn = next(self._source)
+        except StopIteration:
+            self._source_done = True
+            return None
+        self._replay.append(dyn)
+        return dyn
+
+    def _consume_dyn(self) -> DynInst:
+        return self._replay.popleft()
+
+    def _stream_empty(self) -> bool:
+        return not self._replay and (
+            self._source_done or self._peek_dyn() is None
+        )
+
+    # ==================================================================
+    # Sampler plumbing.
+    # ==================================================================
+    def add_drain_waiter(self, sampler, weight: float) -> None:
+        """Defer a sample to the next-committing instruction."""
+        self._drain_waiters.append((sampler, weight))
+
+    def add_dispatch_tag(self, sampler, weight: float) -> None:
+        """Tag the next µop to dispatch (IBS/SPE-style)."""
+        self._dispatch_tag_waiters.append((sampler, weight))
+
+    def add_fetch_tag(self, sampler, weight: float) -> None:
+        """Tag the next µop to be fetched (RIS-style)."""
+        self._fetch_tag_waiters.append((sampler, weight))
+
+    # ==================================================================
+    # Main loop.
+    # ==================================================================
+    def start(self) -> None:
+        """Initialise attached samplers (once, before stepping)."""
+        for sampler in self.samplers:
+            sampler.start(self)
+
+    def active(self) -> bool:
+        """True while the program has not finished executing."""
+        return bool(
+            self.rob or self.fetch_buffer or not self._stream_empty()
+        )
+
+    def step(self, horizon: int | None = None) -> None:
+        """Simulate one cycle (plus any exact fast-forward).
+
+        Args:
+            horizon: Optional cap on fast-forwarding (absolute cycle) --
+                multicore systems use it to bound clock skew between
+                lock-stepped cores sharing an LLC.
+        """
+        self.cycle += 1
+        cycle = self.cycle
+
+        progressed = self._process_events()
+        committed = self._commit()
+        state = self._classify(committed)
+        self.commit_state = state
+        self.committing_now = committed
+        self._attribute(state, 1, committed)
+        for sampler in self.samplers:
+            while sampler.next_due <= cycle:
+                sampler.sample(self)
+                sampler.advance()
+
+        progressed |= bool(committed)
+        progressed |= self._issue()
+        progressed |= self._dispatch()
+        progressed |= self._fetch()
+        progressed |= self._start_drain()
+
+        if not progressed and self.fast_forward:
+            self._fast_forward(state, horizon)
+
+    def run(self, max_cycles: int = 500_000_000) -> CoreResult:
+        """Simulate to completion and return the results.
+
+        Raises:
+            SimulationError: On deadlock or when *max_cycles* is exceeded.
+        """
+        self.start()
+        while self.active():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded {max_cycles} cycles"
+                )
+            self.step()
+        self._finish()
+        return self.result()
+
+    def finish(self) -> None:
+        """Public wrapper for end-of-run sampler resolution."""
+        self._finish()
+
+    def result(self) -> CoreResult:
+        """Package the current statistics into a :class:`CoreResult`."""
+        return CoreResult(
+            program=self.program,
+            cycles=self.cycle,
+            committed=self.committed_total,
+            golden_raw=self.golden_raw,
+            event_counts=self.event_counts,
+            exec_counts=self.exec_counts,
+            stall_histogram=self.stall_histogram,
+            evented_execs=self.evented_execs,
+            combined_execs=self.combined_execs,
+            flushes=self.flushes,
+            hierarchy=self.hierarchy,
+            predictor=self.predictor,
+            samplers=self.samplers,
+            state_cycles=dict(self.state_cycles),
+        )
+
+    def _finish(self) -> None:
+        """Resolve leftover deferred samples and notify samplers."""
+        if self._drain_waiters and self._last_committed is not None:
+            index, psv = self._last_committed
+            for sampler, weight in self._drain_waiters:
+                sampler.capture(index, psv, weight, cycle=self.cycle)
+        self._drain_waiters.clear()
+        for sampler, _weight in self._dispatch_tag_waiters:
+            sampler.drop()
+        for sampler, _weight in self._fetch_tag_waiters:
+            sampler.drop()
+        self._dispatch_tag_waiters.clear()
+        self._fetch_tag_waiters.clear()
+        for sampler in self.samplers:
+            sampler.finish(self)
+
+    def _fast_forward(
+        self, state: CommitState, cap: int | None = None
+    ) -> None:
+        """Jump to the next event, attributing skipped idle cycles."""
+        cycle = self.cycle
+        candidates: list[int] = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self.fetch_buffer:
+            candidates.append(
+                self.fetch_buffer[0].fetch_cycle + self.config.frontend_depth
+            )
+        if (
+            self._waiting_branch is None
+            and not self._stream_empty()
+            and len(self.fetch_buffer) < self.config.fetch_buffer_entries
+        ):
+            candidates.append(self._fetch_stall_until)
+        if self._drain_queue:
+            candidates.append(self._drain_port_free)
+        for queue in self._ready.values():
+            if queue:
+                candidates.append(queue[0][0])
+        for free_time in self._unit_free.values():
+            if free_time > cycle:
+                candidates.append(free_time)
+        future = [c for c in candidates if c > cycle]
+        if not future:
+            raise SimulationError(
+                f"{self.program.name}: deadlock at cycle {cycle} "
+                f"(rob={len(self.rob)}, fb={len(self.fetch_buffer)}, "
+                f"state={state.name})"
+            )
+        target = min(future)
+        if cap is not None:
+            target = min(target, max(cap, cycle + 1))
+        skip = target - cycle - 1
+        if skip <= 0:
+            return
+        self._attribute(state, skip, [])
+        horizon = cycle + skip
+        for sampler in self.samplers:
+            while sampler.next_due <= horizon:
+                sampler.sample(self)
+                sampler.advance()
+        self.cycle = horizon
+
+    # ==================================================================
+    # Commit-state classification and golden attribution.
+    # ==================================================================
+    def _classify(self, committed: list[Uop]) -> CommitState:
+        if committed:
+            return CommitState.COMPUTE
+        if self.rob:
+            self.rob_head = self.rob[0]
+            return CommitState.STALLED
+        self.rob_head = None
+        if self._empty_is_flush:
+            return CommitState.FLUSHED
+        return CommitState.DRAINED
+
+    def _attribute(
+        self, state: CommitState, n: int, committed: list[Uop]
+    ) -> None:
+        self.state_cycles[state] += n
+        if (
+            self.cycle_trace is not None
+            and state != CommitState.COMPUTE
+        ):
+            head_seq = (
+                self.rob[0].seq if state == CommitState.STALLED else -1
+            )
+            self.cycle_trace.on_cycles(state, n, head_seq)
+        if state == CommitState.COMPUTE:
+            share = 1.0 / len(committed)
+            raw = self.golden_raw
+            for uop in committed:
+                key = (uop.index, uop.psv)
+                raw[key] = raw.get(key, 0.0) + share
+        elif state == CommitState.STALLED:
+            self.rob[0].exposed_stall += n
+        elif state == CommitState.DRAINED:
+            self._pending_drain += n
+        else:  # FLUSHED
+            key = self.flush_blame
+            self.golden_raw[key] = self.golden_raw.get(key, 0.0) + n
+
+    # ==================================================================
+    # Commit stage.
+    # ==================================================================
+    def _commit(self) -> list[Uop]:
+        rob = self.rob
+        cycle = self.cycle
+        committed: list[Uop] = []
+        budget = self.config.commit_width
+        flushed = False
+        while budget and rob:
+            head = rob[0]
+            if not head.complete or head.complete_time > cycle:
+                break
+            rob.popleft()
+            head.committed = True
+            committed.append(head)
+            budget -= 1
+            if head.is_load:
+                self._lq_occ -= 1
+                self._unregister_load(head)
+            elif head.is_store:
+                self._drain_queue.append(head)
+            if head.causes_flush:
+                # Serializing op: flush everything younger at commit.
+                if head.op_class == OpClass.SERIAL:
+                    self.flushes.serial += 1
+                    self._squash_younger_than(head.seq)
+                    self._fetch_stall_until = max(
+                        self._fetch_stall_until,
+                        cycle + self.config.redirect_penalty,
+                    )
+                flushed = True
+                break
+        if committed:
+            raw = self.golden_raw
+            last = committed[-1]
+            # Drained cycles go to the next-committing instruction.
+            first = committed[0]
+            if self._pending_drain:
+                key = (first.index, first.psv)
+                raw[key] = raw.get(key, 0.0) + self._pending_drain
+                self._pending_drain = 0.0
+            if self._drain_waiters:
+                for sampler, weight in self._drain_waiters:
+                    sampler.capture(
+                        first.index, first.psv, weight, cycle=cycle
+                    )
+                self._drain_waiters.clear()
+            for uop in committed:
+                key = (uop.index, uop.psv)
+                if uop.exposed_stall:
+                    raw[key] = raw.get(key, 0.0) + uop.exposed_stall
+                if uop.pending_samples:
+                    for sampler, weight in uop.pending_samples:
+                        sampler.capture(
+                            uop.index, uop.psv, weight, cycle=cycle
+                        )
+                    uop.pending_samples.clear()
+                self._account_commit(uop)
+            self.committed_total += len(committed)
+            if self.cycle_trace is not None:
+                self.cycle_trace.on_commit(
+                    [(u.seq, u.index, u.psv) for u in committed]
+                )
+            self._last_committed = (last.index, last.psv)
+            self._empty_is_flush = flushed or last.causes_flush
+            if self._empty_is_flush:
+                self.flush_blame = (last.index, last.psv)
+        return committed
+
+    def _account_commit(self, uop: Uop) -> None:
+        index = uop.index
+        self.exec_counts[index] = self.exec_counts.get(index, 0) + 1
+        psv = uop.psv
+        if psv:
+            self.evented_execs += 1
+            bits = psv
+            n_bits = 0
+            while bits:
+                low = bits & -bits
+                event_num = low.bit_length() - 1
+                key = (index, event_num)
+                self.event_counts[key] = self.event_counts.get(key, 0) + 1
+                bits ^= low
+                n_bits += 1
+            if n_bits >= 2:
+                self.combined_execs += 1
+        elif uop.exposed_stall:
+            self.stall_histogram[uop.exposed_stall] += 1
+
+    # ==================================================================
+    # Event processing (completions, SQ frees).
+    # ==================================================================
+    def _process_events(self) -> bool:
+        events = self._events
+        cycle = self.cycle
+        progressed = False
+        while events and events[0][0] <= cycle:
+            time, _uid, kind, uop = heapq.heappop(events)
+            progressed = True
+            if kind == _EV_SQ_FREE:
+                self._sq_occ -= 1
+                self._unregister_store(uop)
+                continue
+            if uop.squashed:
+                continue
+            uop.complete = True
+            uop.complete_time = time
+            for dep in uop.dependents:
+                if dep.squashed or not dep.dispatched:
+                    continue
+                dep.deps_remaining -= 1
+                if dep.deps_remaining == 0:
+                    heapq.heappush(
+                        self._ready[dep.queue], (time, dep.uid, dep)
+                    )
+            uop.dependents.clear()
+            if uop.mispredicted and self._waiting_branch is uop:
+                self._waiting_branch = None
+                self._fetch_stall_until = max(
+                    self._fetch_stall_until,
+                    time + self.config.redirect_penalty,
+                )
+                self._current_fetch_line = -1
+        return progressed
+
+    # ==================================================================
+    # Issue / execute.
+    # ==================================================================
+    def _issue(self) -> bool:
+        cycle = self.cycle
+        issued_any = False
+        for queue_name, width in self.config.issue_width.items():
+            queue = self._ready[queue_name]
+            budget = width
+            deferred: list[tuple[int, int, Uop]] = []
+            while budget and queue and queue[0][0] <= cycle:
+                _rt, uid, uop = heapq.heappop(queue)
+                if uop.squashed:
+                    continue
+                retry = self._try_execute(uop)
+                if retry is not None:
+                    deferred.append((retry, uid, uop))
+                    continue
+                budget -= 1
+                issued_any = True
+            for entry in deferred:
+                heapq.heappush(queue, entry)
+        return issued_any
+
+    def _try_execute(self, uop: Uop) -> int | None:
+        """Execute *uop* now; return a retry time if it cannot issue yet."""
+        cycle = self.cycle
+        op_class = uop.op_class
+        cfg = self.config
+
+        if op_class == OpClass.SERIAL and (
+            not self.rob or self.rob[0] is not uop
+        ):
+            # Serializing ops execute non-speculatively at the ROB head.
+            return cycle + 1
+
+        if op_class in cfg.unpipelined:
+            free = self._unit_free[op_class]
+            if free > cycle:
+                return free
+
+        uop.issue_cycle = cycle
+        uop.in_iq = False
+        self._iq_occ[uop.queue] -= 1
+
+        if uop.is_load:
+            completion = self._execute_load(uop)
+        elif uop.is_store:
+            completion = self._execute_store(uop)
+        elif op_class == OpClass.PREFETCH:
+            self.hierarchy.prefetch(uop.eff_addr, cycle)
+            completion = cycle + cfg.latencies[OpClass.PREFETCH]
+        else:
+            completion = cycle + cfg.latencies[op_class]
+            if op_class in cfg.unpipelined:
+                self._unit_free[op_class] = completion
+        heapq.heappush(
+            self._events, (completion, uop.uid, _EV_COMPLETE, uop)
+        )
+        return None
+
+    def _execute_load(self, uop: Uop) -> int:
+        cycle = self.cycle
+        addr = uop.eff_addr
+        word = addr >> 3
+        # Store-to-load forwarding from the youngest older executed store.
+        best: Uop | None = None
+        for store in self._store_addr_map.get(word, ()):
+            if store.seq < uop.seq and (
+                best is None or store.seq > best.seq
+            ):
+                best = store
+        self._executed_loads.setdefault(word, []).append(uop)
+        if best is not None:
+            uop.forwarded = True
+            return cycle + 1
+        access = self.hierarchy.access_load(addr, cycle)
+        if access.l1_miss:
+            uop.psv |= _BIT_ST_L1
+        if access.llc_miss:
+            uop.psv |= _BIT_ST_LLC
+        if access.tlb_miss:
+            uop.psv |= _BIT_ST_TLB
+        return max(access.ready_time, cycle + 1)
+
+    def _execute_store(self, uop: Uop) -> int:
+        cycle = self.cycle
+        addr = uop.eff_addr
+        word = addr >> 3
+        # Address generation includes translation (the STA µop).
+        tlb = self.hierarchy.dtlb.lookup(addr)
+        if not tlb.hit:
+            uop.psv |= _BIT_ST_TLB
+        self._store_addr_map.setdefault(word, []).append(uop)
+        # Memory-ordering violation: a younger load already executed.
+        violator: Uop | None = None
+        for load in self._executed_loads.get(word, ()):
+            if load.seq > uop.seq and not load.squashed:
+                if violator is None or load.seq < violator.seq:
+                    violator = load
+        if violator is not None:
+            self.flushes.ordering += 1
+            self._mo_seqs.add(violator.seq)
+            self._squash_younger_than(violator.seq - 1)
+            self._fetch_stall_until = max(
+                self._fetch_stall_until,
+                cycle + self.config.redirect_penalty,
+            )
+        return cycle + tlb.latency + self.config.latencies[OpClass.STORE]
+
+    # ==================================================================
+    # Dispatch.
+    # ==================================================================
+    def _dispatch(self) -> bool:
+        cycle = self.cycle
+        cfg = self.config
+        fb = self.fetch_buffer
+        rob = self.rob
+        iq_occ = self._iq_occ
+        iq_cap = cfg.queue_capacity
+        budget = cfg.decode_width
+        progressed = False
+        dispatched: list[Uop] = []
+        while budget and fb:
+            uop = fb[0]
+            if cycle < uop.fetch_cycle + cfg.frontend_depth:
+                break
+            if len(rob) >= cfg.rob_entries:
+                break
+            if iq_occ[uop.queue] >= iq_cap[uop.queue]:
+                break
+            if uop.is_load and self._lq_occ >= cfg.load_queue_entries:
+                break
+            if uop.is_store:
+                if self._sq_occ >= cfg.store_queue_entries:
+                    # DR-SQ: the store stalls at dispatch because the LSQ
+                    # is full of completed but not yet retired stores.
+                    uop.psv |= _BIT_DR_SQ
+                    break
+                self._sq_occ += 1
+            if uop.is_load:
+                self._lq_occ += 1
+            fb.popleft()
+            uop.dispatched = True
+            uop.dispatch_cycle = cycle
+            rob.append(uop)
+            iq_occ[uop.queue] += 1
+            uop.in_iq = True
+            self._rename(uop)
+            dispatched.append(uop)
+            budget -= 1
+            progressed = True
+        if dispatched and self._dispatch_tag_waiters:
+            # Hardware taggers mark one dispatch slot of the tag cycle;
+            # model the slot choice as uniform over this cycle's group.
+            for sampler, weight in self._dispatch_tag_waiters:
+                target = sampler.rng.choice(dispatched)
+                target.pending_samples.append((sampler, weight))
+            self._dispatch_tag_waiters.clear()
+        return progressed
+
+    def _rename(self, uop: Uop) -> None:
+        static = uop.static
+        deps = 0
+        for reg in static.sources():
+            if reg == 0:
+                continue  # x0 is hard-wired to zero
+            producer = self._last_writer.get(reg)
+            if (
+                producer is not None
+                and not producer.complete
+                and not producer.squashed
+            ):
+                producer.dependents.append(uop)
+                deps += 1
+        rd = static.rd
+        if rd != NO_REG and rd != 0:
+            uop.prev_writer = self._last_writer.get(rd)
+            self._last_writer[rd] = uop
+        uop.deps_remaining = deps
+        if deps == 0:
+            heapq.heappush(
+                self._ready[uop.queue], (self.cycle + 1, uop.uid, uop)
+            )
+
+    # ==================================================================
+    # Fetch.
+    # ==================================================================
+    def _fetch(self) -> bool:
+        cycle = self.cycle
+        cfg = self.config
+        if self._waiting_branch is not None:
+            return False
+        if cycle < self._fetch_stall_until:
+            return False
+        fb = self.fetch_buffer
+        line_bytes = cfg.memory.line_bytes
+        budget = cfg.fetch_width
+        progressed = False
+        fetched: list[Uop] = []
+        while budget and len(fb) < cfg.fetch_buffer_entries:
+            dyn = self._peek_dyn()
+            if dyn is None:
+                break
+            addr = dyn.static.index * INST_BYTES
+            line = addr // line_bytes
+            if line != self._current_fetch_line:
+                access = self.hierarchy.access_inst(addr, cycle)
+                self._current_fetch_line = line
+                if access.ready_time > cycle:
+                    self._fetch_stall_until = access.ready_time
+                    psv_bits = 0
+                    if access.icache_miss:
+                        psv_bits |= _BIT_DR_L1
+                    if access.itlb_miss:
+                        psv_bits |= _BIT_DR_TLB
+                    self._pending_fetch_psv |= psv_bits
+                    break
+            self._consume_dyn()
+            uop = self._make_uop(dyn, cycle)
+            fb.append(uop)
+            fetched.append(uop)
+            progressed = True
+            budget -= 1
+            if not self._handle_control(uop):
+                break  # fetch redirect or mispredict stall
+        if fetched and self._fetch_tag_waiters:
+            for sampler, weight in self._fetch_tag_waiters:
+                target = sampler.rng.choice(fetched)
+                target.pending_samples.append((sampler, weight))
+            self._fetch_tag_waiters.clear()
+        return progressed
+
+    def _make_uop(self, dyn: DynInst, cycle: int) -> Uop:
+        uop = Uop(dyn, cycle, self._queue_by_op[dyn.static.op])
+        if self._pending_fetch_psv:
+            uop.psv |= self._pending_fetch_psv
+            self._pending_fetch_psv = 0
+        if dyn.seq in self._mo_seqs:
+            self._mo_seqs.discard(dyn.seq)
+            uop.psv |= _BIT_FL_MO
+        if uop.op_class == OpClass.SERIAL:
+            # fsflags/frflags-style ops always flush; statically known.
+            uop.psv |= _BIT_FL_EX
+            uop.causes_flush = True
+        return uop
+
+    def _handle_control(self, uop: Uop) -> bool:
+        """Predict a fetched control µop; False ends this fetch packet."""
+        op = uop.static.op
+        op_class = uop.op_class
+        cycle = self.cycle
+        if op_class == OpClass.BRANCH:
+            pc = uop.index
+            predicted = self.predictor.predict_direction(pc)
+            actual = uop.dyn.taken
+            target_known = (
+                self.predictor.predict_target(pc) is not None
+            )
+            self.predictor.update(pc, actual, uop.dyn.next_index)
+            if predicted != actual:
+                uop.mispredicted = True
+                uop.causes_flush = True
+                uop.psv |= _BIT_FL_MB
+                self.flushes.mispredicts += 1
+                self._waiting_branch = uop
+                return False
+            if actual:
+                self._current_fetch_line = -1
+                if not target_known:
+                    self._fetch_stall_until = (
+                        cycle + self.config.btb_miss_penalty
+                    )
+                return False
+            return True
+        if op == Opcode.JUMP or op == Opcode.CALL:
+            pc = uop.index
+            target_known = self.predictor.predict_target(pc) is not None
+            self.predictor.update(pc, True, uop.dyn.next_index)
+            if op == Opcode.CALL:
+                self.predictor.push_return(uop.index + 1)
+            self._current_fetch_line = -1
+            if not target_known:
+                self._fetch_stall_until = (
+                    cycle + self.config.btb_miss_penalty
+                )
+            return False
+        if op == Opcode.RET:
+            predicted = self.predictor.predict_return()
+            actual = uop.dyn.next_index
+            if predicted != actual:
+                uop.mispredicted = True
+                uop.causes_flush = True
+                uop.psv |= _BIT_FL_MB
+                self.flushes.mispredicts += 1
+                self._waiting_branch = uop
+                return False
+            self._current_fetch_line = -1
+            return False
+        return True
+
+    # ==================================================================
+    # Squash (flush) machinery.
+    # ==================================================================
+    def _squash_younger_than(self, boundary_seq: int) -> None:
+        """Squash every µop with seq > boundary_seq and replay its trace."""
+        squashed: list[Uop] = []
+        rob = self.rob
+        while rob and rob[-1].seq > boundary_seq:
+            squashed.append(rob.pop())
+        while self.fetch_buffer:
+            # The fetch buffer only ever holds µops younger than the ROB.
+            squashed.append(self.fetch_buffer.pop())
+        squashed.sort(key=lambda u: -u.seq)
+        for uop in squashed:
+            uop.squashed = True
+            if uop.in_iq:
+                self._iq_occ[uop.queue] -= 1
+                uop.in_iq = False
+            if uop.dispatched:
+                if uop.is_load:
+                    self._lq_occ -= 1
+                    self._unregister_load(uop)
+                elif uop.is_store:
+                    self._sq_occ -= 1
+                    self._unregister_store(uop)
+                rd = uop.static.rd
+                if rd != NO_REG and rd != 0:
+                    if self._last_writer.get(rd) is uop:
+                        if uop.prev_writer is not None:
+                            self._last_writer[rd] = uop.prev_writer
+                        else:
+                            del self._last_writer[rd]
+            for sampler, _weight in uop.pending_samples:
+                sampler.drop()
+            uop.pending_samples.clear()
+        # Replay the dynamic trace of the squashed µops, oldest first at
+        # the front of the replay queue (squashed is youngest-first).
+        self._replay.extendleft(uop.dyn for uop in squashed)
+        if self._waiting_branch is not None and self._waiting_branch.squashed:
+            self._waiting_branch = None
+        self._current_fetch_line = -1
+        self._pending_fetch_psv = 0
+
+    def _unregister_load(self, uop: Uop) -> None:
+        word = uop.eff_addr >> 3
+        loads = self._executed_loads.get(word)
+        if loads is not None:
+            try:
+                loads.remove(uop)
+            except ValueError:
+                pass
+            if not loads:
+                del self._executed_loads[word]
+
+    def _unregister_store(self, uop: Uop) -> None:
+        word = uop.eff_addr >> 3
+        stores = self._store_addr_map.get(word)
+        if stores is not None:
+            try:
+                stores.remove(uop)
+            except ValueError:
+                pass
+            if not stores:
+                del self._store_addr_map[word]
+
+    # ==================================================================
+    # Post-commit store draining.
+    # ==================================================================
+    def _start_drain(self) -> bool:
+        cycle = self.cycle
+        if not self._drain_queue or cycle < self._drain_port_free:
+            return False
+        store = self._drain_queue.popleft()
+        access = self.hierarchy.access_store(
+            store.eff_addr, cycle, translate=False
+        )
+        self._drain_port_free = cycle + 1
+        heapq.heappush(
+            self._events,
+            (max(access.ready_time, cycle + 1), store.uid, _EV_SQ_FREE, store),
+        )
+        return True
+
+
+def simulate(
+    program: Program,
+    config: CoreConfig | None = None,
+    samplers: Iterable = (),
+    arch_state: ArchState | None = None,
+    max_cycles: int = 500_000_000,
+    fast_forward: bool = True,
+) -> CoreResult:
+    """Convenience wrapper: build a :class:`Core` and run it."""
+    core = Core(
+        program, config, samplers, arch_state,
+        fast_forward=fast_forward,
+    )
+    return core.run(max_cycles)

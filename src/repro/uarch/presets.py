@@ -1,0 +1,97 @@
+"""Core-configuration presets modelled on the SonicBOOM family.
+
+The paper evaluates on one BOOM configuration (Table 2 = LargeBoom-
+class). These presets let experiments check that TEA's accuracy is a
+property of its *attribution policy*, not of one pipeline shape: the
+same techniques can be compared across small/medium/large/mega cores
+(``benchmarks/bench_robustness.py`` does exactly that).
+
+The memory hierarchy is held at the Table 2 baseline across presets so
+accuracy differences isolate the core's width and window.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CoreConfig
+
+
+def small_boom() -> CoreConfig:
+    """A 2-wide small core (SmallBoom-class)."""
+    config = CoreConfig()
+    config.fetch_width = 4
+    config.fetch_buffer_entries = 16
+    config.decode_width = 2
+    config.commit_width = 2
+    config.rob_entries = 64
+    config.int_queue_entries = 24
+    config.int_issue_width = 2
+    config.mem_queue_entries = 12
+    config.mem_issue_width = 1
+    config.fp_queue_entries = 12
+    config.fp_issue_width = 1
+    config.load_queue_entries = 12
+    config.store_queue_entries = 12
+    return config
+
+
+def medium_boom() -> CoreConfig:
+    """A 3-wide medium core (MediumBoom-class)."""
+    config = CoreConfig()
+    config.fetch_width = 4
+    config.fetch_buffer_entries = 32
+    config.decode_width = 3
+    config.commit_width = 3
+    config.rob_entries = 128
+    config.int_queue_entries = 48
+    config.int_issue_width = 3
+    config.mem_queue_entries = 32
+    config.mem_issue_width = 2
+    config.fp_queue_entries = 32
+    config.fp_issue_width = 2
+    config.load_queue_entries = 24
+    config.store_queue_entries = 24
+    return config
+
+
+def large_boom() -> CoreConfig:
+    """The paper's 4-wide baseline (Table 2)."""
+    return CoreConfig()
+
+
+def mega_boom() -> CoreConfig:
+    """A 5-wide large-window core (MegaBoom-class)."""
+    config = CoreConfig()
+    config.decode_width = 5
+    config.commit_width = 5
+    config.rob_entries = 384
+    config.int_queue_entries = 128
+    config.int_issue_width = 5
+    config.mem_queue_entries = 72
+    config.mem_issue_width = 3
+    config.fp_queue_entries = 72
+    config.fp_issue_width = 3
+    config.load_queue_entries = 48
+    config.store_queue_entries = 48
+    return config
+
+
+#: Preset name -> builder.
+PRESETS = {
+    "small": small_boom,
+    "medium": medium_boom,
+    "large": large_boom,
+    "mega": mega_boom,
+}
+
+
+def preset(name: str) -> CoreConfig:
+    """Build a preset by name.
+
+    Raises:
+        KeyError: For an unknown preset name.
+    """
+    if name not in PRESETS:
+        raise KeyError(
+            f"unknown preset {name!r}; known: {', '.join(PRESETS)}"
+        )
+    return PRESETS[name]()

@@ -1,0 +1,103 @@
+"""The in-flight micro-operation record of the timing model."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa.instructions import DynInst
+from repro.isa.opcodes import OpClass, op_class
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.samplers import Sampler
+
+
+class Uop:
+    """One in-flight µop: a dynamic instruction plus pipeline state.
+
+    Carries the Performance Signature Vector (``psv``) that TEA attaches
+    to every in-flight instruction, the golden-reference attribution
+    accumulators, and deferred sampler captures that resolve when the µop
+    commits.
+    """
+
+    __slots__ = (
+        "dyn",
+        "uid",
+        "seq",
+        "index",
+        "op_class",
+        "queue",
+        "psv",
+        "fetch_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_time",
+        "dispatched",
+        "complete",
+        "committed",
+        "squashed",
+        "in_iq",
+        "is_load",
+        "is_store",
+        "mispredicted",
+        "causes_flush",
+        "deps_remaining",
+        "dependents",
+        "prev_writer",
+        "exposed_stall",
+        "pending_samples",
+        "forwarded",
+    )
+
+    _next_uid = 0
+
+    def __init__(self, dyn: DynInst, fetch_cycle: int, queue: str) -> None:
+        self.dyn = dyn
+        # Unique, monotonically increasing id: a refetched instance of
+        # the same dynamic instruction (same seq) gets a fresh uid, which
+        # keeps heap entries totally ordered.
+        self.uid = Uop._next_uid
+        Uop._next_uid += 1
+        self.seq = dyn.seq
+        self.index = dyn.static.index
+        self.op_class: OpClass = op_class(dyn.static.op)
+        self.queue = queue
+        self.psv = 0
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_time = -1
+        self.dispatched = False
+        self.complete = False
+        self.committed = False
+        self.squashed = False
+        self.in_iq = False
+        self.is_load = self.op_class == OpClass.LOAD
+        self.is_store = self.op_class == OpClass.STORE
+        self.mispredicted = False
+        self.causes_flush = False
+        self.deps_remaining = 0
+        self.dependents: list["Uop"] = []
+        self.prev_writer: "Uop | None" = None
+        # Golden attribution: commit-stall cycles exposed by this µop,
+        # added to the profile with the final PSV when it commits.
+        self.exposed_stall = 0
+        # Deferred sampler captures: (sampler, weight).
+        self.pending_samples: list[tuple["Sampler", float]] = []
+        self.forwarded = False
+
+    @property
+    def static(self):
+        """The static instruction."""
+        return self.dyn.static
+
+    @property
+    def eff_addr(self) -> int:
+        """Memory effective address (-1 for non-memory ops)."""
+        return self.dyn.eff_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Uop(seq={self.seq}, {self.dyn.static.disasm()!r}, "
+            f"psv={self.psv:#05x})"
+        )

@@ -1,0 +1,23 @@
+"""Figure rendering: dependency-free SVG charts for the paper's figures.
+
+:mod:`repro.viz.svg` is a tiny SVG canvas; :mod:`repro.viz.charts` builds
+grouped-bar, line, box-plot, and stacked-bar (PICS) charts on top of it;
+:mod:`repro.viz.figures` turns experiment results into the paper's
+figures (``tea-repro figures`` writes them all).
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.charts import (
+    bar_chart,
+    box_plot,
+    line_chart,
+    stacked_bar_chart,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "bar_chart",
+    "box_plot",
+    "line_chart",
+    "stacked_bar_chart",
+]

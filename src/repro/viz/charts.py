@@ -1,0 +1,356 @@
+"""Chart builders on top of :class:`repro.viz.svg.SvgCanvas`.
+
+Four chart families cover every figure in the paper: grouped bars
+(Fig 5), box plots (Fig 7), lines (Figs 8 and 11), and stacked PICS bars
+(Figs 6, 10, 12). All builders return the SVG document as a string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.viz.svg import SvgCanvas
+
+#: Categorical palette (colour-blind-friendly).
+PALETTE = (
+    "#4878d0",
+    "#ee854a",
+    "#6acc64",
+    "#d65f5f",
+    "#956cb4",
+    "#8c613c",
+    "#dc7ec0",
+    "#797979",
+    "#d5bb67",
+    "#82c6e2",
+)
+
+
+@dataclass
+class _Frame:
+    """Plot-area geometry and the data-to-pixel transforms."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    vmin: float
+    vmax: float
+
+    def y_of(self, value: float) -> float:
+        span = self.vmax - self.vmin or 1.0
+        frac = (value - self.vmin) / span
+        return self.y1 - frac * (self.y1 - self.y0)
+
+
+def _nice_ticks(vmax: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [0, vmax]."""
+    if vmax <= 0:
+        return [0.0, 1.0]
+    import math
+
+    magnitude = 10.0 ** math.floor(math.log10(vmax / n))
+    step = magnitude
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if vmax / step <= n:
+            break
+    ticks = []
+    value = 0.0
+    while value < vmax + step / 2:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _frame(
+    canvas: SvgCanvas,
+    title: str,
+    ylabel: str,
+    vmax: float,
+    margin_left: int = 70,
+    margin_bottom: int = 70,
+    percent: bool = False,
+) -> _Frame:
+    """Draw the title, y axis, grid, and return the plot frame."""
+    frame = _Frame(
+        x0=margin_left,
+        y0=50,
+        x1=canvas.width - 20,
+        y1=canvas.height - margin_bottom,
+        vmin=0.0,
+        vmax=vmax,
+    )
+    canvas.text(
+        canvas.width / 2, 25, title, size=15, anchor="middle", bold=True
+    )
+    canvas.text(
+        18,
+        (frame.y0 + frame.y1) / 2,
+        ylabel,
+        size=12,
+        anchor="middle",
+        rotate=-90,
+    )
+    for tick in _nice_ticks(vmax):
+        if tick > vmax * 1.001:
+            continue
+        y = frame.y_of(tick)
+        canvas.line(frame.x0, y, frame.x1, y, stroke="#dddddd")
+        label = f"{tick:.0%}" if percent else f"{tick:g}"
+        canvas.text(frame.x0 - 6, y + 4, label, size=10, anchor="end")
+    canvas.line(frame.x0, frame.y0, frame.x0, frame.y1, stroke="#333333")
+    canvas.line(frame.x0, frame.y1, frame.x1, frame.y1, stroke="#333333")
+    return frame
+
+
+def _legend(
+    canvas: SvgCanvas, names: list[str], colors: list[str]
+) -> None:
+    x = canvas.width - 20 - 110
+    y = 55
+    for name, color in zip(names, colors):
+        canvas.rect(x, y - 9, 12, 12, fill=color)
+        canvas.text(x + 17, y + 1, name, size=11)
+        y += 17
+
+
+def bar_chart(
+    labels: list[str],
+    series: dict[str, list[float]],
+    title: str,
+    ylabel: str = "",
+    width: int = 900,
+    height: int = 420,
+    percent: bool = False,
+) -> str:
+    """Grouped bar chart: one group per label, one bar per series.
+
+    Raises:
+        ValueError: If a series' length does not match the labels.
+    """
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    canvas = SvgCanvas(width, height)
+    vmax = max(
+        (v for values in series.values() for v in values), default=1.0
+    )
+    frame = _frame(canvas, title, ylabel, vmax * 1.1, percent=percent)
+    n_groups = len(labels)
+    n_series = len(series)
+    group_width = (frame.x1 - frame.x0) / max(n_groups, 1)
+    bar_width = group_width * 0.8 / max(n_series, 1)
+    colors = [PALETTE[i % len(PALETTE)] for i in range(n_series)]
+    for g, label in enumerate(labels):
+        group_x = frame.x0 + g * group_width + group_width * 0.1
+        for s, (name, values) in enumerate(series.items()):
+            value = values[g]
+            y = frame.y_of(value)
+            canvas.rect(
+                group_x + s * bar_width,
+                y,
+                bar_width * 0.92,
+                frame.y1 - y,
+                fill=colors[s],
+                title=f"{name} / {label}: "
+                + (f"{value:.1%}" if percent else f"{value:g}"),
+            )
+        canvas.text(
+            group_x + group_width * 0.4,
+            frame.y1 + 12,
+            label,
+            size=10,
+            anchor="end",
+            rotate=-35,
+        )
+    _legend(canvas, list(series), colors)
+    return canvas.render()
+
+
+def line_chart(
+    x_values: list[float],
+    series: dict[str, list[float]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 760,
+    height: int = 420,
+    percent: bool = False,
+) -> str:
+    """Line chart with markers; x positions are equidistant categories.
+
+    Raises:
+        ValueError: On series/x length mismatch.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    canvas = SvgCanvas(width, height)
+    vmax = max(
+        (v for values in series.values() for v in values), default=1.0
+    )
+    frame = _frame(canvas, title, ylabel, vmax * 1.1, percent=percent)
+    n = len(x_values)
+    step = (frame.x1 - frame.x0) / max(n - 1, 1)
+    colors = [PALETTE[i % len(PALETTE)] for i in range(len(series))]
+    for i, x in enumerate(x_values):
+        px = frame.x0 + i * step
+        canvas.text(
+            px, frame.y1 + 16, f"{x:g}", size=10, anchor="middle"
+        )
+    canvas.text(
+        (frame.x0 + frame.x1) / 2,
+        frame.y1 + 38,
+        xlabel,
+        size=12,
+        anchor="middle",
+    )
+    for color, (name, values) in zip(colors, series.items()):
+        points = [
+            (frame.x0 + i * step, frame.y_of(v))
+            for i, v in enumerate(values)
+        ]
+        canvas.polyline(points, stroke=color)
+        for px, py in points:
+            canvas.circle(px, py, 3, fill=color)
+    _legend(canvas, list(series), colors)
+    return canvas.render()
+
+
+def box_plot(
+    labels: list[str],
+    boxes: list,
+    title: str,
+    ylabel: str = "Pearson r",
+    width: int = 760,
+    height: int = 420,
+    vmin: float = -1.0,
+    vmax: float = 1.0,
+) -> str:
+    """Box-and-whisker plot from :class:`repro.core.correlation.BoxStats`
+    objects (None entries render as an empty slot).
+
+    Raises:
+        ValueError: On labels/boxes length mismatch.
+    """
+    if len(labels) != len(boxes):
+        raise ValueError("labels and boxes must have equal length")
+    canvas = SvgCanvas(width, height)
+    frame = _Frame(
+        x0=70, y0=50, x1=width - 20, y1=height - 60, vmin=vmin, vmax=vmax
+    )
+    canvas.text(width / 2, 25, title, size=15, anchor="middle", bold=True)
+    canvas.text(
+        18, (frame.y0 + frame.y1) / 2, ylabel, size=12,
+        anchor="middle", rotate=-90,
+    )
+    for tick in (-1.0, -0.5, 0.0, 0.5, 1.0):
+        if not vmin <= tick <= vmax:
+            continue
+        y = frame.y_of(tick)
+        canvas.line(frame.x0, y, frame.x1, y, stroke="#dddddd")
+        canvas.text(frame.x0 - 6, y + 4, f"{tick:+.1f}", size=10,
+                    anchor="end")
+    canvas.line(frame.x0, frame.y0, frame.x0, frame.y1, stroke="#333")
+    canvas.line(frame.x0, frame.y1, frame.x1, frame.y1, stroke="#333")
+    slot = (frame.x1 - frame.x0) / max(len(labels), 1)
+    box_width = slot * 0.45
+    for i, (label, box) in enumerate(zip(labels, boxes)):
+        cx = frame.x0 + (i + 0.5) * slot
+        canvas.text(cx, frame.y1 + 16, label, size=10, anchor="middle")
+        if box is None:
+            canvas.text(cx, (frame.y0 + frame.y1) / 2, "n/a", size=10,
+                        anchor="middle", fill="#999999")
+            continue
+        y_min = frame.y_of(box.minimum)
+        y_max = frame.y_of(box.maximum)
+        y_q1 = frame.y_of(box.q1)
+        y_q3 = frame.y_of(box.q3)
+        y_med = frame.y_of(box.median)
+        canvas.line(cx, y_max, cx, y_q3, stroke="#555555")
+        canvas.line(cx, y_q1, cx, y_min, stroke="#555555")
+        canvas.line(cx - box_width / 4, y_max, cx + box_width / 4,
+                    y_max, stroke="#555555")
+        canvas.line(cx - box_width / 4, y_min, cx + box_width / 4,
+                    y_min, stroke="#555555")
+        canvas.rect(
+            cx - box_width / 2,
+            min(y_q3, y_q1),
+            box_width,
+            abs(y_q1 - y_q3),
+            fill="#82c6e2",
+            stroke="#333333",
+            title=f"{label}: median {box.median:+.2f} (n={box.n})",
+        )
+        canvas.line(cx - box_width / 2, y_med, cx + box_width / 2,
+                    y_med, stroke="#d65f5f", width=2)
+    return canvas.render()
+
+
+def stacked_bar_chart(
+    bar_labels: list[str],
+    stacks: list[dict[str, float]],
+    title: str,
+    ylabel: str = "share of execution time",
+    width: int = 860,
+    height: int = 460,
+    normalise_to: float | None = None,
+) -> str:
+    """Stacked bars (the PICS view): one bar per unit, one segment per
+    signature. Segment colours are consistent across bars.
+
+    Args:
+        normalise_to: If given, heights are divided by this value
+            (e.g. total cycles) so the y axis reads as a share.
+
+    Raises:
+        ValueError: On labels/stacks length mismatch.
+    """
+    if len(bar_labels) != len(stacks):
+        raise ValueError("bar_labels and stacks must have equal length")
+    canvas = SvgCanvas(width, height)
+    signatures: list[str] = []
+    for stack in stacks:
+        for signature in stack:
+            if signature not in signatures:
+                signatures.append(signature)
+    scale = normalise_to or 1.0
+    heights = [sum(stack.values()) / scale for stack in stacks]
+    vmax = max(heights, default=1.0)
+    frame = _frame(
+        canvas, title, ylabel, vmax * 1.15,
+        percent=normalise_to is not None,
+    )
+    color_of = {
+        sig: PALETTE[i % len(PALETTE)] for i, sig in enumerate(signatures)
+    }
+    color_of["Base"] = "#c8c8c8"
+    slot = (frame.x1 - frame.x0) / max(len(stacks), 1)
+    bar_width = slot * 0.55
+    for i, (label, stack) in enumerate(zip(bar_labels, stacks)):
+        cx = frame.x0 + (i + 0.5) * slot
+        base = frame.y1
+        for signature in signatures:
+            value = stack.get(signature, 0.0) / scale
+            if value <= 0:
+                continue
+            top = base - (frame.y1 - frame.y_of(value))
+            canvas.rect(
+                cx - bar_width / 2,
+                top,
+                bar_width,
+                base - top,
+                fill=color_of[signature],
+                stroke="#ffffff",
+                title=f"{label} / {signature}: {value:.2%}"
+                if normalise_to
+                else f"{label} / {signature}: {value:g}",
+            )
+            base = top
+        canvas.text(cx, frame.y1 + 14, label, size=10, anchor="middle")
+    _legend(canvas, signatures, [color_of[s] for s in signatures])
+    return canvas.render()

@@ -1,0 +1,131 @@
+"""A minimal SVG canvas (no third-party dependencies).
+
+Coordinates are standard SVG: origin top-left, y grows downward. The
+chart layer (:mod:`repro.viz.charts`) handles all data-to-pixel mapping;
+this module only accumulates elements and serialises them.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises the document."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Primitives.
+    # ------------------------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str = "#4878d0",
+        stroke: str = "none",
+        opacity: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        """Axis-aligned rectangle (optionally with a hover title)."""
+        tooltip = (
+            f"<title>{html.escape(title)}</title>" if title else ""
+        )
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{max(w, 0):.2f}" '
+            f'height="{max(h, 0):.2f}" fill="{fill}" stroke="{stroke}" '
+            f'opacity="{opacity}">{tooltip}</rect>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "#333333",
+        width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        """Straight line segment."""
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" '
+            f'stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        stroke: str = "#4878d0",
+        width: float = 2.0,
+    ) -> None:
+        """Open polyline through *points*."""
+        path = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float, fill: str = "#4878d0"
+    ) -> None:
+        """Filled circle (chart markers)."""
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'fill="{fill}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        anchor: str = "start",
+        fill: str = "#222222",
+        rotate: float | None = None,
+        bold: bool = False,
+    ) -> None:
+        """Text element; *anchor* is start/middle/end."""
+        transform = (
+            f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"'
+            if rotate is not None
+            else ""
+        )
+        weight = ' font-weight="bold"' if bold else ""
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{fill}" '
+            f'font-family="sans-serif"{weight}{transform}>'
+            f"{html.escape(content)}</text>"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation.
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the document to *path* and return it."""
+        path = Path(path)
+        path.write_text(self.render())
+        return path

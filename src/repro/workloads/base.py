@@ -1,0 +1,97 @@
+"""Shared infrastructure for the synthetic workloads."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.interpreter import ArchState
+from repro.isa.program import Program
+
+#: Bytes between array elements (one 8-byte word).
+WORD = 8
+#: Cache-line size used when laying out data.
+LINE = 64
+#: Page size used when laying out data.
+PAGE = 4096
+
+
+@dataclass
+class Workload:
+    """A ready-to-simulate workload.
+
+    Attributes:
+        name: Benchmark name ("lbm", "bwaves", ...).
+        program: The assembled program.
+        state: Pre-initialised architectural state (arrays etc.). A fresh
+            copy should be produced per simulation via :meth:`fresh_state`
+            since the interpreter mutates it.
+        description: What SPEC behaviour the kernel mimics.
+        traits: Informal expected event signature (used by tests).
+    """
+
+    name: str
+    program: Program
+    state_builder: "callable"
+    description: str = ""
+    traits: tuple[str, ...] = ()
+    params: dict = field(default_factory=dict)
+
+    def fresh_state(self) -> ArchState:
+        """Build a fresh architectural state for one simulation run."""
+        return self.state_builder()
+
+
+def iterations(base: int, scale: float, minimum: int = 8) -> int:
+    """Scale an iteration count, clamping to a sane minimum."""
+    return max(minimum, int(round(base * scale)))
+
+
+def init_pointer_chain(
+    state: ArchState,
+    base: int,
+    n_elems: int,
+    stride: int = WORD,
+    seed: int = 7,
+) -> None:
+    """Write a random single-cycle pointer chain into memory.
+
+    Element *i* lives at ``base + i*stride`` and holds the byte address of
+    the next element in a random Hamiltonian cycle over all elements --
+    the classic pointer-chase structure that defeats prefetching and
+    exposes full memory latency (omnetpp/mcf analogues).
+    """
+    rng = random.Random(seed)
+    order = list(range(1, n_elems))
+    rng.shuffle(order)
+    sequence = [0] + order
+    for pos, elem in enumerate(sequence):
+        nxt = sequence[(pos + 1) % n_elems]
+        state.write_mem(base + elem * stride, base + nxt * stride)
+
+
+def init_array(
+    state: ArchState,
+    base: int,
+    n_elems: int,
+    stride: int = WORD,
+    value_fn=lambda i: float(i % 97) + 1.0,
+) -> None:
+    """Initialise a dense array with deterministic nonzero values."""
+    for i in range(n_elems):
+        state.write_mem(base + i * stride, value_fn(i))
+
+
+def init_random_values(
+    state: ArchState,
+    base: int,
+    n_elems: int,
+    stride: int = WORD,
+    seed: int = 11,
+    lo: int = 0,
+    hi: int = 1 << 30,
+) -> None:
+    """Initialise an array with deterministic pseudo-random integers."""
+    rng = random.Random(seed)
+    for i in range(n_elems):
+        state.write_mem(base + i * stride, rng.randint(lo, hi))

@@ -1,0 +1,84 @@
+"""bwaves analogue: strided FP sweeps with combined cache + TLB misses.
+
+SPEC's 603.bwaves_s solves block-tridiagonal systems with large strided
+accesses. The paper's Fig 6a shows its top instructions dominated by
+*combined* events: (ST-L1, ST-TLB) and (ST-LLC, ST-TLB).
+
+The kernel alternates two access patterns per iteration:
+
+* a forward-only page-strided load over fresh memory -- every access is a
+  compulsory LLC miss on a new page whose walk also misses the L2 TLB:
+  the (ST-L1, ST-LLC, ST-TLB) combination;
+* a page-strided load inside a 1 MiB window that is revisited every lap --
+  LLC-resident but too big for the L1D and the 32-entry D-TLB: the
+  (ST-L1, ST-TLB) combination without an LLC miss.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import PAGE, Workload, iterations
+
+#: Stride that changes both the cache line and the page every access.
+_COLD_STRIDE = PAGE + 64
+#: Window revisited every lap: LLC-resident, L1/D-TLB-thrashing.
+_WINDOW_BYTES = 1 << 20
+_WINDOW_STRIDE = PAGE + 64
+_WINDOW_BASE = 1 << 30
+_COLD_BASE = 1 << 31
+
+
+def build_bwaves(scale: float = 1.0) -> Workload:
+    """Build the bwaves kernel (~36 dynamic instructions per iteration)."""
+    iters = iterations(1500, scale)
+    window_slots = _WINDOW_BYTES // _WINDOW_STRIDE
+
+    b = ProgramBuilder("bwaves")
+    b.function("mat_times_vec")
+    b.li("x1", iters)  # loop counter
+    b.li("x2", _COLD_BASE)  # cold streaming pointer
+    b.li("x3", _WINDOW_BASE)  # windowed pointer
+    b.li("x4", 0)  # window slot index
+    b.li("x5", window_slots)
+    b.li("x6", _WINDOW_STRIDE)
+    b.label("loop")
+    # Cold strided load: compulsory LLC miss + TLB walk every time.
+    b.fload("f1", "x2", 0)
+    b.addi("x2", "x2", _COLD_STRIDE)
+    # Windowed load: LLC hit after the first lap, D-TLB capacity miss.
+    b.mul("x7", "x4", "x6")
+    b.add("x8", "x3", "x7")
+    b.fload("f2", "x8", 0)
+    b.addi("x4", "x4", 1)
+    b.bne("x4", "x5", "no_wrap")
+    b.li("x4", 0)
+    b.label("no_wrap")
+    # Block-solver-style FP work on the loaded values.
+    b.fmul("f3", "f1", "f2")
+    b.fadd("f4", "f4", "f3")
+    b.fmul("f5", "f2", "f2")
+    b.fsub("f6", "f5", "f1")
+    b.fadd("f7", "f7", "f6")
+    b.fmul("f8", "f4", "f7")
+    b.fadd("f9", "f9", "f8")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()  # loads of fresh memory read as 0.0
+
+    return Workload(
+        name="bwaves",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Strided FP sweep: combined cache+TLB misses "
+            "((ST-L1,ST-TLB) and (ST-L1,ST-LLC,ST-TLB))"
+        ),
+        traits=("ST_L1", "ST_LLC", "ST_TLB", "combined"),
+        params={"iters": iters},
+    )

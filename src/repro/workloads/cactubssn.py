@@ -1,0 +1,64 @@
+"""cactuBSSN analogue: 3D stencil with page-crossing plane strides.
+
+SPEC's 607.cactuBSSN_s sweeps 3D grids where the k-direction neighbour
+sits a whole plane away -- a multi-page stride that stresses both the
+caches and the D-TLB while the unit-stride neighbours stay cheap. The
+kernel loads a centre point, its unit-stride neighbour, and its
+plane-stride neighbour per iteration, then runs an FP update chain.
+Profile: a mix of cheap loads (Base/hidden) and combined
+(ST-L1, ST-LLC, ST-TLB) plane-neighbour loads.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import WORD, Workload, iterations
+
+_GRID_BASE = 35 << 28
+#: Distance to the k-neighbour: one 96x96 plane of 8-byte points
+#: (~72 KiB, i.e. ~18 pages away -- always a new page and line).
+_PLANE_BYTES = 96 * 96 * WORD
+
+
+def build_cactubssn(scale: float = 1.0) -> Workload:
+    """Build the cactuBSSN kernel (~18 dynamic instructions/iteration)."""
+    iters = iterations(4200, scale)
+
+    b = ProgramBuilder("cactuBSSN")
+    b.function("bssn_rhs")
+    b.li("x1", iters)
+    b.li("x2", _GRID_BASE)
+    b.label("loop")
+    b.fload("f1", "x2", 0)  # centre: streaming, mostly hidden
+    b.fload("f2", "x2", WORD)  # i+1 neighbour: same line
+    b.fload("f3", "x2", _PLANE_BYTES)  # k+1 neighbour: new page + line
+    # Curvature update chain.
+    b.fadd("f4", "f1", "f2")
+    b.fmul("f5", "f4", "f3")
+    b.fsub("f6", "f5", "f1")
+    b.fmul("f7", "f6", "f6")
+    b.fadd("f8", "f8", "f7")
+    b.fmul("f9", "f7", "f2")
+    b.fadd("f10", "f10", "f9")
+    b.addi("x2", "x2", WORD)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="cactuBSSN",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "3D stencil with plane-stride neighbour: combined "
+            "(ST-L1,ST-LLC,ST-TLB) on the k-loads"
+        ),
+        traits=("ST_L1", "ST_LLC", "ST_TLB", "combined"),
+        params={"iters": iters},
+    )

@@ -1,0 +1,72 @@
+"""deepsjeng analogue: hash-table probes plus mispredicting search.
+
+SPEC's 631.deepsjeng_s (chess) mixes transposition-table lookups (random
+addresses over a multi-megabyte table) with heavily data-dependent search
+branches. The kernel probes a 4 MiB table at LCG-random lines and
+branches on LCG bits.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import Workload, iterations
+
+_TABLE_BASE = 17 << 28
+_TABLE_BYTES = 4 << 20
+_TABLE_LINES = _TABLE_BYTES // 64
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def build_deepsjeng(scale: float = 1.0) -> Workload:
+    """Build the deepsjeng kernel (one random table probe/iteration)."""
+    iters = iterations(1800, scale)
+
+    b = ProgramBuilder("deepsjeng")
+    b.function("tt_probe")
+    b.li("x1", iters)
+    b.li("x2", 42424243)  # LCG state (the Zobrist hash stand-in)
+    b.li("x3", _LCG_MUL)
+    b.li("x4", _LCG_INC)
+    b.li("x5", _LCG_MASK)
+    b.li("x6", _TABLE_BASE)
+    b.li("x7", _TABLE_LINES - 1)
+    b.li("x13", 64)
+    b.li("x14", 7)
+    b.label("loop")
+    b.mul("x2", "x2", "x3")
+    b.add("x2", "x2", "x4")
+    b.and_("x2", "x2", "x5")
+    # Random table line: mostly cold -> LLC miss; revisits hit.
+    b.srl("x8", "x2", "x14")
+    b.and_("x8", "x8", "x7")
+    b.mul("x9", "x8", "x13")
+    b.add("x9", "x9", "x6")
+    b.load("x10", "x9", 0)
+    # Search branches on hash bits: ~50% mispredict.
+    b.andi("x11", "x2", 16)
+    b.beq("x11", "x0", "cutoff")
+    b.add("x12", "x12", "x10")
+    b.jump("next")
+    b.label("cutoff")
+    b.xor("x12", "x12", "x2")
+    b.label("next")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="deepsjeng",
+        program=program,
+        state_builder=state_builder,
+        description="Random transposition-table probes + mispredicts",
+        traits=("ST_L1", "ST_LLC", "FL_MB"),
+        params={"iters": iters},
+    )

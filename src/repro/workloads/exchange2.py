@@ -1,0 +1,87 @@
+"""exchange2 analogue: cache-resident integer compute with mispredicts.
+
+SPEC's 648.exchange2_s (sudoku generator) is famously core-bound: tiny
+working set, heavy integer work, data-dependent control flow. It is the
+benchmark for which IBS incurs its lowest (but still substantial) error
+in the paper (Fig 6d), with stacks dominated by Base cycles and FL-MB.
+
+The kernel permutes a small in-cache board with an LCG driving
+data-dependent branches (hard to predict) and an inner compute loop.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import WORD, Workload, init_random_values, iterations
+
+_BOARD_BASE = 7 << 20
+_BOARD_SLOTS = 128  # 1 KiB: always L1-resident
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def build_exchange2(scale: float = 1.0) -> Workload:
+    """Build the exchange2 kernel (~26 dynamic instructions/iteration)."""
+    iters = iterations(3000, scale)
+
+    b = ProgramBuilder("exchange2")
+    b.function("digit_permute")
+    b.li("x1", iters)
+    b.li("x2", 987654321)  # LCG state
+    b.li("x3", _LCG_MUL)
+    b.li("x4", _LCG_INC)
+    b.li("x5", _LCG_MASK)
+    b.li("x6", _BOARD_BASE)
+    b.li("x7", _BOARD_SLOTS - 1)
+    b.li("x14", 5)
+    b.label("loop")
+    # LCG step.
+    b.mul("x2", "x2", "x3")
+    b.add("x2", "x2", "x4")
+    b.and_("x2", "x2", "x5")
+    # Board slot swap (always cache-resident).
+    b.srl("x8", "x2", "x14")
+    b.and_("x8", "x8", "x7")
+    b.li("x13", WORD)
+    b.mul("x9", "x8", "x13")
+    b.add("x9", "x9", "x6")
+    b.load("x10", "x9", 0)
+    b.addi("x10", "x10", 1)
+    b.store("x10", "x9", 0)
+    # Data-dependent branches on LCG bits: mispredict-heavy.
+    b.andi("x11", "x2", 8)
+    b.beq("x11", "x0", "even")
+    b.addi("x12", "x12", 2)
+    b.jump("join")
+    b.label("even")
+    b.addi("x12", "x12", 1)
+    b.label("join")
+    b.andi("x11", "x2", 64)
+    b.beq("x11", "x0", "skip2")
+    b.xor("x12", "x12", "x10")
+    b.label("skip2")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        state = ArchState()
+        init_random_values(
+            state, _BOARD_BASE, _BOARD_SLOTS, WORD, seed=23, lo=0, hi=9
+        )
+        return state
+
+    return Workload(
+        name="exchange2",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Cache-resident integer permutation: Base cycles + FL-MB"
+        ),
+        traits=("FL_MB", "base"),
+        params={"iters": iters},
+    )

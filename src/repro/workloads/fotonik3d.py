@@ -1,0 +1,57 @@
+"""fotonik3d analogue: pure streaming with cache-only stalls.
+
+SPEC's 649.fotonik3d_s streams through large FDTD field arrays. The
+paper's Fig 6c shows its top instructions dominated by *solitary* cache
+events (ST-L1 / ST-LLC, no TLB component): optimising it "can focus
+solely on improving cache utilization".
+
+The kernel streams line-by-line over fresh memory: every load touches a
+new cache line (compulsory LLC miss, partially hidden by the next-line
+prefetcher), while page locality keeps D-TLB misses to one per 64 lines.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import LINE, Workload, iterations
+
+_FIELD_BASE = 5 << 28
+
+
+def build_fotonik3d(scale: float = 1.0) -> Workload:
+    """Build the fotonik3d kernel (one new line per iteration)."""
+    iters = iterations(2600, scale)
+
+    b = ProgramBuilder("fotonik3d")
+    b.function("update_field")
+    b.li("x1", iters)
+    b.li("x2", _FIELD_BASE)
+    b.label("loop")
+    b.fload("f1", "x2", 0)  # new line every iteration: ST-L1 (+ST-LLC)
+    b.fload("f2", "x2", 16)  # same line: hits under the fill
+    b.fload("f3", "x2", 32)
+    b.addi("x2", "x2", LINE)
+    # Stencil-style FP update.
+    b.fadd("f4", "f1", "f2")
+    b.fmul("f5", "f4", "f3")
+    b.fadd("f6", "f6", "f5")
+    b.fmul("f7", "f5", "f1")
+    b.fadd("f8", "f8", "f7")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="fotonik3d",
+        program=program,
+        state_builder=state_builder,
+        description="Streaming FDTD sweep: solitary ST-L1/ST-LLC stalls",
+        traits=("ST_L1", "ST_LLC"),
+        params={"iters": iters},
+    )

@@ -1,0 +1,108 @@
+"""lbm analogue: the software-prefetching case study (paper Section 6).
+
+SPEC's 619.lbm_s streams a lattice whose working set exceeds the LLC. The
+paper's analysis: (i) the first load of each iteration always misses the
+LLC and is *not* hidden because the loop body holds enough compute to
+fill the ROB, blocking the next iteration's loads from issuing early;
+(ii) the remaining loads miss too but hide under the first; (iii) the
+loop writes many store streams, so once loads are prefetched the
+bottleneck moves to store bandwidth (DR-SQ on stores, Fig 11).
+
+The kernel reads three fresh cache lines per iteration through 11 loads,
+performs a deep FP dependency chain (ROB filler), and writes 19 store
+streams (one 8-byte element each, i.e. ~2.4 store-line allocations per
+iteration). ``prefetch_distance`` inserts software prefetches for the
+three lines *d* iterations ahead, exactly as the case study's custom
+ROCC prefetch instruction does.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import LINE, Workload, iterations
+
+_SRC_BASE = 9 << 28
+_DST_BASE = 11 << 28
+#: Bytes the source pointer advances per iteration (3 cache lines).
+_SRC_STEP = 3 * LINE
+#: Store streams: separate regions written one element per iteration.
+_N_STREAMS = 19
+_STREAM_SPACING = 1 << 19  # 512 KiB apart: distinct lines and pages
+#: Load offsets within the 3-line window (11 loads, as in lbm's loop).
+_LOAD_OFFSETS = (0, 16, 32, 48, 64, 80, 96, 112, 128, 144, 176)
+
+
+def build_lbm(scale: float = 1.0, prefetch_distance: int = 0) -> Workload:
+    """Build the lbm kernel.
+
+    Args:
+        scale: Iteration-count scale factor.
+        prefetch_distance: Software-prefetch distance in iterations
+            (0 disables prefetching -- the original benchmark).
+    """
+    if prefetch_distance < 0:
+        raise ValueError("prefetch_distance must be >= 0")
+    iters = iterations(700, scale)
+
+    b = ProgramBuilder("lbm" if not prefetch_distance
+                       else f"lbm-pf{prefetch_distance}")
+    b.function("stream_collide")
+    b.li("x1", iters)
+    b.li("x2", _SRC_BASE)  # source lattice pointer
+    b.li("x3", _DST_BASE)  # destination pointer (19 streams off it)
+    b.label("loop")
+    if prefetch_distance:
+        ahead = prefetch_distance * _SRC_STEP
+        b.prefetch("x2", ahead)
+        b.prefetch("x2", ahead + LINE)
+        b.prefetch("x2", ahead + 2 * LINE)
+    # 11 loads over three fresh cache lines. The first (offset 0) takes
+    # the full LLC-miss latency; the rest hide under it.
+    for n, offset in enumerate(_LOAD_OFFSETS):
+        b.fload(f"f{n + 1}", "x2", offset)
+    # Collision step: a deep FP chain that fills the ROB and prevents
+    # the next iteration's loads from issuing early (the paper's (ii)).
+    b.fadd("f12", "f1", "f2")
+    b.fmul("f13", "f12", "f3")
+    b.fadd("f14", "f13", "f4")
+    b.fmul("f15", "f14", "f5")
+    b.fadd("f16", "f15", "f6")
+    b.fmul("f17", "f16", "f7")
+    b.fadd("f18", "f17", "f8")
+    b.fmul("f19", "f18", "f9")
+    b.fadd("f20", "f19", "f10")
+    b.fmul("f21", "f20", "f11")
+    b.fadd("f22", "f21", "f1")
+    b.fmul("f23", "f22", "f2")
+    b.fadd("f24", "f23", "f3")
+    b.fmul("f25", "f24", "f4")
+    b.fadd("f26", "f25", "f5")
+    b.fmul("f27", "f26", "f6")
+    # 19 store streams (one element each): the distribution-function
+    # writes that dominate bandwidth once loads are prefetched.
+    for stream in range(_N_STREAMS):
+        value_reg = f"f{12 + (stream % 16)}"
+        b.fstore(value_reg, "x3", stream * _STREAM_SPACING)
+    b.addi("x2", "x2", _SRC_STEP)
+    b.addi("x3", "x3", 8)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name=program.name,
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "LLC-missing lattice streaming with 19 store streams; "
+            f"prefetch distance {prefetch_distance}"
+        ),
+        traits=("ST_L1", "ST_LLC", "DR_SQ"),
+        params={"iters": iters, "prefetch_distance": prefetch_distance},
+    )

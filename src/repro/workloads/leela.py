@@ -1,0 +1,73 @@
+"""leela analogue: LLC-resident working set with biased branches.
+
+SPEC's 641.leela_s (Go) works on a board/tree state of a few hundred
+kilobytes: too large for the L1D, comfortably LLC-resident. Its branches
+are biased but not trivial. The kernel probes a 256 KiB table at random
+lines (ST-L1, mostly LLC hits) with an association branch that is taken
+~75% of the time.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import Workload, iterations
+
+_TREE_BASE = 19 << 28
+_TREE_BYTES = 128 << 10
+_TREE_LINES = _TREE_BYTES // 64
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def build_leela(scale: float = 1.0) -> Workload:
+    """Build the leela kernel."""
+    iters = iterations(2200, scale)
+
+    b = ProgramBuilder("leela")
+    b.function("uct_select")
+    b.li("x1", iters)
+    b.li("x2", 77777777)
+    b.li("x3", _LCG_MUL)
+    b.li("x4", _LCG_INC)
+    b.li("x5", _LCG_MASK)
+    b.li("x6", _TREE_BASE)
+    b.li("x7", _TREE_LINES - 1)
+    b.li("x13", 64)
+    b.li("x14", 9)
+    b.li("x15", 192)  # 75% threshold over an 8-bit field
+    b.label("loop")
+    b.mul("x2", "x2", "x3")
+    b.add("x2", "x2", "x4")
+    b.and_("x2", "x2", "x5")
+    b.srl("x8", "x2", "x14")
+    b.and_("x8", "x8", "x7")
+    b.mul("x9", "x8", "x13")
+    b.add("x9", "x9", "x6")
+    b.load("x10", "x9", 0)  # L1 miss, LLC hit after warm-up
+    b.andi("x11", "x2", 255)
+    b.blt("x11", "x15", "visit")  # ~75% taken: biased but imperfect
+    b.xor("x12", "x12", "x10")
+    b.jump("next")
+    b.label("visit")
+    b.add("x12", "x12", "x10")
+    b.addi("x12", "x12", 3)
+    b.label("next")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="leela",
+        program=program,
+        state_builder=state_builder,
+        description="LLC-resident tree probes: ST-L1 + moderate FL-MB",
+        traits=("ST_L1", "FL_MB"),
+        params={"iters": iters},
+    )

@@ -1,0 +1,60 @@
+"""mcf analogue: page-strided pointer chasing with stores.
+
+SPEC's 605.mcf_s (network simplex) chases arc/node pointers across a
+working set far beyond the LLC, with cost-comparison branches that
+mispredict. The kernel walks a random pointer chain whose nodes sit one
+per page (every hop: LLC miss + TLB walk) and updates a per-node cost.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import PAGE, Workload, init_pointer_chain, iterations
+
+_ARC_BASE = 15 << 28
+_NODE_STRIDE = PAGE + 64  # one node per page (and per line)
+_CHAIN_NODES = 1400
+
+
+def build_mcf(scale: float = 1.0) -> Workload:
+    """Build the mcf kernel (one cold page-crossing hop per iteration)."""
+    hops = iterations(1300, scale)
+
+    b = ProgramBuilder("mcf")
+    b.function("refresh_potential")
+    b.li("x1", hops)
+    b.li("x2", _ARC_BASE)
+    b.li("x5", 0)
+    b.label("loop")
+    b.or_("x6", "x2", "x0")  # remember the current node
+    b.load("x3", "x2", 8)  # node cost (same line as the pointer)
+    b.load("x2", "x2", 0)  # chase to the next arc: LLC miss + TLB walk
+    b.slt("x4", "x3", "x2")  # cost comparison, data-dependent
+    b.beq("x4", "x0", "no_update")
+    b.addi("x5", "x5", 1)
+    b.store("x5", "x6", 16)  # update the node we just visited
+    b.label("no_update")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        state = ArchState()
+        init_pointer_chain(
+            state, _ARC_BASE, _CHAIN_NODES, _NODE_STRIDE, seed=29
+        )
+        return state
+
+    return Workload(
+        name="mcf",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Page-strided pointer chase: (ST-L1,ST-LLC,ST-TLB) plus FL-MB"
+        ),
+        traits=("ST_L1", "ST_LLC", "ST_TLB", "FL_MB"),
+        params={"hops": hops, "nodes": _CHAIN_NODES},
+    )

@@ -1,0 +1,193 @@
+"""Directed calibration microbenchmarks (lmbench-style probes).
+
+These measure single mechanisms of the simulated core in isolation --
+useful both to validate the substrate against its configuration (the
+tests do exactly that) and as worked examples of how memory latencies
+compose:
+
+* :func:`measure_load_latency` -- load-to-use latency at a chosen level
+  of the hierarchy (L1 / LLC / DRAM) via a dependent pointer chase.
+* :func:`measure_bandwidth` -- sustainable line fill rate via
+  independent streaming loads.
+* :func:`measure_branch_penalty` -- the effective mispredict penalty by
+  comparing predictable and unpredictable branch versions of a loop.
+* :func:`measure_flush_penalty` -- the serializing-op (FL-EX) cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import simulate
+from repro.workloads.base import LINE, init_pointer_chain
+
+_CHASE_BASE = 37 << 28
+_STREAM_BASE = 39 << 28
+
+
+@dataclass
+class LatencyProbe:
+    """Result of a load-latency probe."""
+
+    level: str
+    cycles_per_load: float
+    footprint_bytes: int
+
+
+def _chase_cycles(
+    nodes: int,
+    stride: int,
+    hops: int,
+    config: CoreConfig | None,
+) -> int:
+    """Cycles to chase *hops* links of a *nodes*-element chain."""
+    b = ProgramBuilder("chase")
+    b.li("x1", hops)
+    b.li("x2", _CHASE_BASE)
+    b.label("loop")
+    b.load("x2", "x2", 0)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    state = ArchState()
+    init_pointer_chain(state, _CHASE_BASE, nodes, stride, seed=41)
+    return simulate(b.build(), config=config, arch_state=state).cycles
+
+
+def measure_load_latency(
+    level: str = "dram",
+    hops: int = 400,
+    config: CoreConfig | None = None,
+) -> LatencyProbe:
+    """Measure load-to-use latency with a dependent pointer chase.
+
+    Uses the differential method: the chase runs with *hops* and
+    *2 x hops* links and the reported latency is the marginal cost
+    ``(c2 - c1) / hops``, which cancels cold-start effects (start-up
+    I-cache misses, the first warming lap of the chain).
+
+    Args:
+        level: "l1" (4 KiB footprint), "llc" (256 KiB, > L1 but
+            LLC-resident), or "dram" (page-strided, never reused).
+
+    Raises:
+        ValueError: For an unknown level name.
+    """
+    if level == "l1":
+        nodes, stride = 64, LINE
+    elif level == "llc":
+        nodes, stride = 1024, 4 * LINE
+    elif level == "dram":
+        nodes, stride = 2 * hops + 1, 4096 + LINE
+    else:
+        raise ValueError(f"unknown level {level!r}")
+
+    if level != "dram":
+        # Whole laps so both runs see the same (fully warm) footprint.
+        hops = max(hops, 2 * nodes)
+    short = _chase_cycles(nodes, stride, hops, config)
+    long = _chase_cycles(nodes, stride, 2 * hops, config)
+    return LatencyProbe(
+        level=level,
+        cycles_per_load=max((long - short) / hops, 0.0),
+        footprint_bytes=nodes * stride,
+    )
+
+
+@dataclass
+class BandwidthProbe:
+    """Result of a streaming-bandwidth probe."""
+
+    cycles_per_line: float
+    lines: int
+
+
+def measure_bandwidth(
+    lines: int = 1500, config: CoreConfig | None = None
+) -> BandwidthProbe:
+    """Measure the sustainable fill rate with independent line loads."""
+    b = ProgramBuilder("stream")
+    b.li("x1", lines)
+    b.li("x2", _STREAM_BASE)
+    b.label("loop")
+    b.load("x3", "x2", 0)
+    b.addi("x2", "x2", LINE)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    result = simulate(b.build(), config=config)
+    return BandwidthProbe(
+        cycles_per_line=result.cycles / lines, lines=lines
+    )
+
+
+@dataclass
+class PenaltyProbe:
+    """Result of a penalty probe (mispredict or flush)."""
+
+    cycles_per_event: float
+    events: int
+
+
+def measure_branch_penalty(
+    iters: int = 2000, config: CoreConfig | None = None
+) -> PenaltyProbe:
+    """Effective mispredict penalty: random-branch minus fixed-branch."""
+
+    def run(random_branch: bool) -> tuple[int, int]:
+        b = ProgramBuilder("branchy")
+        b.li("x1", iters)
+        b.li("x2", 918273645)
+        b.li("x3", 1103515245)
+        b.li("x4", (1 << 31) - 1)
+        b.li("x7", 13)
+        b.label("loop")
+        b.mul("x2", "x2", "x3")
+        b.addi("x2", "x2", 12345)
+        b.and_("x2", "x2", "x4")
+        if random_branch:
+            b.srl("x5", "x2", "x7")
+            b.andi("x5", "x5", 1)
+        else:
+            b.li("x5", 0)
+        b.beq("x5", "x0", "skip")
+        b.addi("x6", "x6", 1)
+        b.label("skip")
+        b.addi("x1", "x1", -1)
+        b.bne("x1", "x0", "loop")
+        b.halt()
+        result = simulate(b.build(), config=config)
+        return result.cycles, result.flushes.mispredicts
+
+    random_cycles, mispredicts = run(True)
+    fixed_cycles, _ = run(False)
+    extra = max(random_cycles - fixed_cycles, 0)
+    return PenaltyProbe(
+        cycles_per_event=extra / mispredicts if mispredicts else 0.0,
+        events=mispredicts,
+    )
+
+
+def measure_flush_penalty(
+    iters: int = 800, config: CoreConfig | None = None
+) -> PenaltyProbe:
+    """Serializing-op (FL-EX) cost: with-serial minus without."""
+
+    def run(with_serial: bool) -> int:
+        b = ProgramBuilder("serialy")
+        b.li("x1", iters)
+        b.label("loop")
+        if with_serial:
+            b.serial()
+        b.addi("x2", "x2", 1)
+        b.addi("x3", "x3", 2)
+        b.addi("x1", "x1", -1)
+        b.bne("x1", "x0", "loop")
+        b.halt()
+        return simulate(b.build(), config=config).cycles
+
+    extra = max(run(True) - run(False), 0)
+    return PenaltyProbe(cycles_per_event=extra / iters, events=iters)

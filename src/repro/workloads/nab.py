@@ -1,0 +1,86 @@
+"""nab analogue: the IEEE-754-compliance case study (paper Section 6).
+
+SPEC's 644.nab_s computes molecular distances with sqrt in its inner
+loop. On the paper's RISC-V BOOM, the compiler brackets each NaN-safe
+``flt.d`` comparison with ``fsflags``/``frflags`` CSR accesses that
+*always flush the pipeline*; the flush prevents the out-of-order engine
+from issuing the following ``fsqrt.d`` early, exposing its full execution
+latency even though no cache/TLB/branch event occurs.
+
+The kernel reproduces this exactly: serializing ops (our SERIAL opcode,
+tagged FL-EX) bracket an FP comparison before an FSQRT whose 24-cycle
+latency then cannot be hidden. ``fast_math=True`` models compiling with
+``-fno-signaling-nans``-style options (-finite-math/-fast-math): the
+serializing ops disappear and independent iterations overlap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import LINE, Workload, iterations
+
+_COORD_BASE = 13 << 28
+
+
+def build_nab(scale: float = 1.0, fast_math: bool = False) -> Workload:
+    """Build the nab kernel.
+
+    Args:
+        scale: Iteration-count scale factor.
+        fast_math: Omit the serializing fsflags/frflags-style ops
+            (models -finite-math / -fast-math).
+    """
+    iters = iterations(1200, scale)
+
+    b = ProgramBuilder("nab-fast" if fast_math else "nab")
+    b.function("dist_calc")
+    b.li("x1", iters)
+    b.li("x2", _COORD_BASE)
+    b.li("x4", 0)  # offset within the coordinate window
+    b.li("x9", 2)
+    b.fcvt("f10", "x9")  # constant 2.0
+    b.label("loop")
+    # Coordinate deltas: a 4 KiB window, L1-resident after the first lap.
+    b.add("x5", "x2", "x4")
+    b.fload("f1", "x5", 0)
+    b.fload("f2", "x5", 8)
+    b.fsub("f3", "f1", "f2")
+    b.fmul("f4", "f3", "f3")
+    b.fadd("f5", "f4", "f10")
+    if not fast_math:
+        # IEEE-754 compliance: mask FP exception flags around the
+        # NaN-sensitive comparison. Always flushes the pipeline (FL-EX).
+        b.serial()
+    b.fmin("f6", "f5", "f10")  # the flt.d-style comparison
+    if not fast_math:
+        b.serial()
+    # The performance-critical square root: after a flush it issues too
+    # late for its 24-cycle latency to be hidden.
+    b.fsqrt("f7", "f5")
+    b.fadd("f8", "f8", "f7")
+    b.fmul("f9", "f7", "f6")
+    b.fadd("f11", "f11", "f9")
+    b.addi("x4", "x4", 16)
+    b.andi("x4", "x4", (LINE * 64) - 1)  # wrap within a 4 KiB window
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name=program.name,
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "FP sqrt serialised by always-flushing CSR ops"
+            if not fast_math
+            else "FP sqrt with flushes removed (-fast-math)"
+        ),
+        traits=("FL_EX", "fsqrt") if not fast_math else ("fsqrt",),
+        params={"iters": iters, "fast_math": fast_math},
+    )

@@ -1,0 +1,66 @@
+"""omnetpp analogue: pointer chasing with data-dependent branches.
+
+SPEC's 620.omnetpp_s is a discrete-event simulator dominated by pointer-
+linked data structures. The paper's Fig 6b shows top instructions with
+combined (ST-L1, ST-TLB) and (ST-LLC, ST-TLB) events plus mispredicted
+branches.
+
+The kernel walks a random pointer chain laid out across ~1.6 MiB with a
+multi-line node stride: the chain order defeats the next-line prefetcher
+and the D-TLB, and the walk covers the chain more than once so both
+LLC-missing (first lap) and LLC-hitting (later laps) loads appear. A
+branch keyed on pointer bits mispredicts heavily.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import Workload, init_pointer_chain, iterations
+
+_CHAIN_BASE = 3 << 28
+_NODE_STRIDE = 1088  # 17 cache lines: multi-line nodes, sparse pages
+_CHAIN_NODES = 1500
+
+
+def build_omnetpp(scale: float = 1.0) -> Workload:
+    """Build the omnetpp kernel (~2.3 laps over the event chain)."""
+    hops = iterations(3400, scale)
+
+    b = ProgramBuilder("omnetpp")
+    b.function("sched_next_event")
+    b.li("x1", hops)
+    b.li("x2", _CHAIN_BASE)  # current event pointer
+    b.li("x5", 0)  # accumulator
+    b.label("loop")
+    b.load("x2", "x2", 0)  # chase: serialised, latency fully exposed
+    b.andi("x3", "x2", 1 << 6)  # pseudo-random bit of the next address
+    b.beq("x3", "x0", "skip")  # data-dependent: ~50% mispredicts
+    b.addi("x5", "x5", 1)
+    b.label("skip")
+    b.addi("x6", "x5", 3)
+    b.xor("x7", "x6", "x2")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        state = ArchState()
+        init_pointer_chain(
+            state, _CHAIN_BASE, _CHAIN_NODES, _NODE_STRIDE, seed=17
+        )
+        return state
+
+    return Workload(
+        name="omnetpp",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Pointer-chasing event queue: (ST-L1,ST-TLB)/(ST-LLC,ST-TLB) "
+            "combined events plus branch mispredicts"
+        ),
+        traits=("ST_L1", "ST_LLC", "ST_TLB", "FL_MB", "combined"),
+        params={"hops": hops, "nodes": _CHAIN_NODES},
+    )

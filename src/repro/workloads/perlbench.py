@@ -1,0 +1,95 @@
+"""perlbench analogue: interpreter dispatch with data-dependent control.
+
+SPEC's 600.perlbench_s spends its time in an opcode-dispatch loop:
+short, branchy handler bodies selected by data-dependent comparisons,
+plus symbol-table lookups in a mostly-L1-resident hash table. The kernel
+reproduces that: an LCG draws "opcodes" dispatched through a comparison
+cascade (our ISA has no indirect jumps, so the cascade plays the role of
+the unpredictable dispatch), each handler touching a 32 KiB symbol
+table.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import Workload, iterations
+
+_SYMTAB_BASE = 29 << 28
+_SYMTAB_BYTES = 32 << 10
+_SYMTAB_LINES = _SYMTAB_BYTES // 64
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+_N_HANDLERS = 4
+
+
+def build_perlbench(scale: float = 1.0) -> Workload:
+    """Build the perlbench kernel (~26 dynamic instructions/iteration)."""
+    iters = iterations(2800, scale)
+
+    b = ProgramBuilder("perlbench")
+    b.function("runops")
+    b.li("x1", iters)
+    b.li("x2", 20240229)
+    b.li("x3", _LCG_MUL)
+    b.li("x4", _LCG_INC)
+    b.li("x5", _LCG_MASK)
+    b.li("x6", _SYMTAB_BASE)
+    b.li("x7", _SYMTAB_LINES - 1)
+    b.li("x13", 64)
+    b.li("x14", 11)
+    b.li("x15", 13)
+    b.label("loop")
+    # Next "opcode": 2 *high* LCG bits (low bits of an LCG mod 2^31 are
+    # short-period and a gshare predictor would learn them).
+    b.mul("x2", "x2", "x3")
+    b.add("x2", "x2", "x4")
+    b.and_("x2", "x2", "x5")
+    b.srl("x8", "x2", "x15")
+    b.andi("x8", "x8", _N_HANDLERS - 1)
+    # Dispatch cascade: unpredictable data-dependent branches.
+    b.beq("x8", "x0", "op_add")
+    b.slti("x9", "x8", 2)
+    b.bne("x9", "x0", "op_concat")
+    b.slti("x9", "x8", 3)
+    b.bne("x9", "x0", "op_match")
+    # op_fetch: symbol-table load.
+    b.srl("x10", "x2", "x14")
+    b.and_("x10", "x10", "x7")
+    b.mul("x10", "x10", "x13")
+    b.add("x10", "x10", "x6")
+    b.load("x11", "x10", 0)
+    b.add("x12", "x12", "x11")
+    b.jump("dispatched")
+    b.label("op_add")
+    b.addi("x12", "x12", 1)
+    b.jump("dispatched")
+    b.label("op_concat")
+    b.sll("x12", "x12", "x0")
+    b.xori("x12", "x12", 0x5A)
+    b.jump("dispatched")
+    b.label("op_match")
+    b.andi("x9", "x2", 255)
+    b.slti("x9", "x9", 128)
+    b.add("x12", "x12", "x9")
+    b.label("dispatched")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="perlbench",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Opcode-dispatch cascade + symbol-table probes: FL-MB heavy"
+        ),
+        traits=("FL_MB", "ST_L1"),
+        params={"iters": iters},
+    )

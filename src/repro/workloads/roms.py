@@ -1,0 +1,53 @@
+"""roms analogue: streaming FP read-modify-write (loads + store stream).
+
+SPEC's 654.roms_s (ocean model) streams through grid arrays reading and
+writing. The kernel performs a daxpy-like sweep: stream one source array
+and write one destination stream, so both load-side cache events and
+store-side bandwidth (occasional DR-SQ) appear.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import WORD, Workload, iterations
+
+_SRC_BASE = 25 << 28
+_DST_BASE = 27 << 28
+
+
+def build_roms(scale: float = 1.0) -> Workload:
+    """Build the roms kernel (8 elements = one line per 8 iterations)."""
+    iters = iterations(5000, scale)
+
+    b = ProgramBuilder("roms")
+    b.function("step3d")
+    b.li("x1", iters)
+    b.li("x2", _SRC_BASE)
+    b.li("x3", _DST_BASE)
+    b.li("x9", 3)
+    b.fcvt("f9", "x9")
+    b.label("loop")
+    b.fload("f1", "x2", 0)  # streaming read: ST-L1/ST-LLC each new line
+    b.fmul("f2", "f1", "f9")
+    b.fadd("f3", "f2", "f1")
+    b.fstore("f3", "x3", 0)  # streaming write: allocates + writebacks
+    b.addi("x2", "x2", WORD)
+    b.addi("x3", "x3", WORD)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="roms",
+        program=program,
+        state_builder=state_builder,
+        description="Streaming read-modify-write: ST-L1/ST-LLC + DR-SQ",
+        traits=("ST_L1", "ST_LLC", "DR_SQ"),
+        params={"iters": iters},
+    )

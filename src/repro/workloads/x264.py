@@ -1,0 +1,72 @@
+"""x264 analogue: motion-estimation SAD over streaming frames.
+
+SPEC's 625.x264_s is compute-dense: sum-of-absolute-differences loops
+streaming two frames with high spatial locality and biased early-exit
+branches. The kernel streams a reference and a current "frame" within
+16 KiB search windows (cold on the first lap, L1-resident afterwards),
+accumulates an absolute-difference metric, and takes an occasionally-
+taken early-exit branch. Profile: Base-dominated with moderate ST-L1.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import WORD, Workload, iterations
+
+_REF_BASE = 31 << 28
+_CUR_BASE = 33 << 28
+
+
+def build_x264(scale: float = 1.0) -> Workload:
+    """Build the x264 kernel (~20 dynamic instructions per iteration)."""
+    iters = iterations(2800, scale)
+
+    b = ProgramBuilder("x264")
+    b.function("sad_block")
+    b.li("x1", iters)
+    b.li("x10", 0)  # offset within the 16 KiB search windows
+    b.li("x9", 1 << 12)  # early-exit threshold
+    b.li("x14", _REF_BASE)
+    b.li("x15", _CUR_BASE)
+    b.label("loop")
+    b.add("x2", "x14", "x10")
+    b.add("x3", "x15", "x10")
+    b.load("x4", "x2", 0)
+    b.load("x5", "x3", 0)
+    # |a - b| without an abs instruction.
+    b.sub("x6", "x4", "x5")
+    b.slt("x7", "x6", "x0")
+    b.beq("x7", "x0", "positive")
+    b.sub("x6", "x0", "x6")
+    b.label("positive")
+    b.add("x8", "x8", "x6")
+    # Second unrolled element.
+    b.load("x4", "x2", 8)
+    b.load("x5", "x3", 8)
+    b.sub("x6", "x4", "x5")
+    b.mul("x6", "x6", "x6")  # squared-difference flavour
+    b.add("x8", "x8", "x6")
+    # Early exit check: rarely taken (resets the accumulator).
+    b.blt("x8", "x9", "no_exit")
+    b.li("x8", 0)
+    b.label("no_exit")
+    b.addi("x10", "x10", 2 * WORD)
+    b.andi("x10", "x10", (16 << 10) - 1)  # wrap: L1-resident after lap 1
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="x264",
+        program=program,
+        state_builder=state_builder,
+        description="Streaming SAD kernel: Base-heavy, hidden ST-L1",
+        traits=("base", "ST_L1"),
+        params={"iters": iters},
+    )

@@ -1,0 +1,88 @@
+"""xz analogue: match-finder loads with mixed locality and stores.
+
+SPEC's 657.xz_s (LZMA) walks history buffers with data-dependent offsets
+inside a dictionary window: a mixture of near (cache-hot) and far
+(cache-cold) references, moderately mispredicting match/literal
+decisions, and output stores. The kernel reproduces that mixture over a
+1 MiB window.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import Workload, iterations
+
+_DICT_BASE = 21 << 28
+_OUT_BASE = 23 << 28
+_WINDOW_MASK = (1 << 20) - 1  # 1 MiB dictionary window
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def build_xz(scale: float = 1.0) -> Workload:
+    """Build the xz kernel (~20 dynamic instructions per iteration)."""
+    iters = iterations(1900, scale)
+
+    b = ProgramBuilder("xz")
+    b.function("match_finder")
+    b.li("x1", iters)
+    b.li("x2", 31415927)
+    b.li("x3", _LCG_MUL)
+    b.li("x4", _LCG_INC)
+    b.li("x5", _LCG_MASK)
+    b.li("x6", _DICT_BASE)
+    b.li("x7", _WINDOW_MASK & ~7)
+    b.li("x8", _OUT_BASE)
+    b.li("x14", 3)
+    b.label("loop")
+    b.mul("x2", "x2", "x3")
+    b.add("x2", "x2", "x4")
+    b.and_("x2", "x2", "x5")
+    # Far reference: random offset in the 1 MiB window (ST-L1, some LLC).
+    b.srl("x9", "x2", "x14")
+    b.and_("x9", "x9", "x7")
+    b.add("x9", "x9", "x6")
+    b.load("x10", "x9", 0)
+    # Near reference: sequential output position (cache-hot).
+    b.load("x11", "x8", 0)
+    b.add("x11", "x11", "x10")
+    # Match/literal decision: data-dependent, ~50%.
+    b.andi("x12", "x2", 32)
+    b.beq("x12", "x0", "literal")
+    b.store("x11", "x8", 0)
+    b.jump("advance")
+    b.label("literal")
+    b.store("x2", "x8", 8)
+    b.label("advance")
+    # History-pointer update: every 16th iteration a store whose address
+    # depends on the (slow) far reference races a younger load of the
+    # same slot -- the memory-ordering-violation (FL-MO) pattern that
+    # LZ match copies exhibit when source and destination overlap.
+    b.andi("x15", "x1", 15)
+    b.bne("x15", "x0", "no_hazard")
+    b.andi("x13", "x10", 8)  # 0 or 8, known only after the far load
+    b.add("x13", "x13", "x8")
+    b.store("x2", "x13", 16)  # store to x8+16 or x8+24, resolved late
+    b.load("x14", "x8", 16)  # younger load of x8+16, issues early
+    b.add("x11", "x11", "x14")
+    b.label("no_hazard")
+    b.addi("x8", "x8", 16)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    program = b.build()
+
+    def state_builder() -> ArchState:
+        return ArchState()
+
+    return Workload(
+        name="xz",
+        program=program,
+        state_builder=state_builder,
+        description="Dictionary-window match finding: mixed ST-L1 + FL-MB",
+        traits=("ST_L1", "FL_MB"),
+        params={"iters": iters},
+    )

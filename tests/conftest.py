@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite.
+
+Expensive simulations are session-scoped and run at a small workload
+scale so the full suite stays fast while still exercising the real
+pipeline end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.samplers import make_sampler
+from repro.experiments.runner import ExperimentRunner
+from repro.isa.builder import ProgramBuilder
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import simulate
+from repro.workloads import build
+
+
+@pytest.fixture
+def countdown_program():
+    """A minimal 4-instruction countdown loop."""
+    b = ProgramBuilder("countdown")
+    b.li("x1", 50)
+    b.label("loop")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    return b.build()
+
+
+def make_mixed_program(iters: int = 300):
+    """A loop exercising loads, stores, FP, and branches."""
+    b = ProgramBuilder("mixed")
+    b.li("x1", iters)
+    b.li("x3", 64)
+    b.label("loop")
+    b.mul("x4", "x1", "x3")
+    b.store("x1", "x4", 1 << 20)
+    b.load("x2", "x4", 1 << 20)
+    b.fcvt("f1", "x2")
+    b.fmul("f2", "f1", "f1")
+    b.andi("x5", "x1", 3)
+    b.beq("x5", "x0", "skip")
+    b.addi("x6", "x6", 1)
+    b.label("skip")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    return b.build()
+
+
+@pytest.fixture
+def mixed_program():
+    """Function-scoped mixed workload program."""
+    return make_mixed_program()
+
+
+@pytest.fixture(scope="session")
+def mixed_result():
+    """One simulated run of the mixed program with all five samplers."""
+    program = make_mixed_program(800)
+    samplers = [
+        make_sampler(t, 151, seed=99 + i)
+        for i, t in enumerate(("TEA", "NCI-TEA", "IBS", "SPE", "RIS"))
+    ]
+    result = simulate(program, samplers=samplers)
+    return result
+
+
+@pytest.fixture(scope="session")
+def small_runner():
+    """Session-scoped experiment runner at a small scale."""
+    return ExperimentRunner(scale=0.12, period=101)
+
+
+@pytest.fixture(scope="session")
+def lbm_run(small_runner):
+    """The lbm benchmark simulated once (session-scoped)."""
+    return small_runner.run("lbm")
+
+
+@pytest.fixture(scope="session")
+def nab_run(small_runner):
+    """The nab benchmark simulated once (session-scoped)."""
+    return small_runner.run("nab")
+
+
+@pytest.fixture
+def tiny_config():
+    """A deliberately tiny core config that makes events easy to force."""
+    config = CoreConfig()
+    config.memory.l1d_size = 1024
+    config.memory.l1d_assoc = 2
+    config.memory.llc_size = 8 * 1024
+    config.memory.llc_assoc = 2
+    config.memory.dtlb_entries = 2
+    config.memory.itlb_entries = 2
+    config.store_queue_entries = 4
+    config.load_queue_entries = 4
+    return config

@@ -1,0 +1,98 @@
+"""Tests for the optimisation advisor (rule engine over PICS)."""
+
+import pytest
+
+from repro.core.advisor import advise, render_findings
+from repro.core.samplers import make_sampler
+from repro.uarch.core import simulate
+from repro.workloads import build
+
+
+def profile_of(name, scale=0.25, **kwargs):
+    wl = build(name, scale=scale, **kwargs)
+    tea = make_sampler("TEA", 101)
+    simulate(wl.program, samplers=[tea], arch_state=wl.fresh_state())
+    return tea.profile(), wl.program
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def test_lbm_gets_the_paper_advice():
+    profile, program = profile_of("lbm")
+    findings = advise(profile, program)
+    assert "llc-missing-loads" in rules_of(findings)
+    top = findings[0]
+    assert top.rule == "llc-missing-loads"
+    assert "prefetch" in top.suggestion.lower()
+    # The implicated instruction is a load.
+    from repro.isa.opcodes import MEMORY_READ_OPS
+
+    assert program[top.units[0]].op in MEMORY_READ_OPS
+
+
+def test_nab_gets_the_paper_advice():
+    profile, program = profile_of("nab")
+    findings = advise(profile, program)
+    rules = rules_of(findings)
+    assert "serializing-flushes" in rules
+    assert "exposed-execution-latency" in rules
+    serial = next(
+        f for f in findings if f.rule == "serializing-flushes"
+    )
+    assert "fast-math" in serial.suggestion or "-ffast-math" in (
+        serial.suggestion
+    )
+
+
+def test_prefetched_lbm_shifts_to_store_bandwidth():
+    profile, program = profile_of("lbm", prefetch_distance=3)
+    findings = advise(profile, program)
+    assert "store-bandwidth" in rules_of(findings)
+
+
+def test_mcf_gets_tlb_advice():
+    profile, program = profile_of("mcf")
+    findings = advise(profile, program)
+    assert "tlb-pressure" in rules_of(findings)
+
+
+def test_gcc_gets_icache_advice():
+    profile, program = profile_of("gcc", scale=0.3)
+    findings = advise(profile, program)
+    assert "icache-pressure" in rules_of(findings)
+
+
+def test_perlbench_gets_branch_advice():
+    profile, program = profile_of("perlbench")
+    findings = advise(profile, program)
+    assert "branch-mispredicts" in rules_of(findings)
+
+
+def test_findings_sorted_by_severity():
+    profile, program = profile_of("nab")
+    findings = advise(profile, program)
+    severities = [f.severity for f in findings]
+    assert severities == sorted(severities, reverse=True)
+
+
+def test_empty_profile():
+    from repro.core.pics import PicsProfile
+    from repro.isa.builder import ProgramBuilder
+
+    b = ProgramBuilder("p")
+    b.halt()
+    assert advise(PicsProfile("t", {}), b.build()) == []
+
+
+def test_render_findings():
+    profile, program = profile_of("lbm")
+    text = render_findings(advise(profile, program), program)
+    assert "llc-missing-loads" in text
+    assert "try:" in text
+    assert "fload" in text  # instruction disasm appears
+
+
+def test_render_no_findings():
+    assert "No findings" in render_findings([])

@@ -1,0 +1,104 @@
+"""Tests for correlation analysis and stall coverage."""
+
+import pytest
+
+from repro.core.correlation import (
+    BoxStats,
+    StallCoverage,
+    correlation_boxes,
+    event_correlation,
+    event_impact,
+    merged_stall_coverage,
+    pearson,
+)
+from repro.core.events import Event
+from repro.core.pics import PicsProfile
+
+ST_L1 = 1 << Event.ST_L1
+
+
+def test_pearson_perfect_positive():
+    assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    assert pearson([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+
+def test_pearson_zero_variance():
+    assert pearson([1, 1, 1], [2, 4, 6]) == 0.0
+
+
+def test_pearson_validation():
+    with pytest.raises(ValueError):
+        pearson([1], [1, 2])
+    with pytest.raises(ValueError):
+        pearson([], [])
+
+
+def test_event_impact():
+    golden = PicsProfile("g", {0: {0: 10.0, ST_L1: 30.0}})
+    assert event_impact(golden, 0, Event.ST_L1) == pytest.approx(30.0)
+    assert event_impact(golden, 0, Event.ST_TLB) == 0.0
+
+
+def test_event_correlation():
+    golden = PicsProfile(
+        "g",
+        {0: {ST_L1: 10.0}, 1: {ST_L1: 20.0}, 2: {ST_L1: 40.0}},
+    )
+    counts = {
+        (0, int(Event.ST_L1)): 1,
+        (1, int(Event.ST_L1)): 2,
+        (2, int(Event.ST_L1)): 4,
+    }
+    r = event_correlation(golden, counts, Event.ST_L1)
+    assert r == pytest.approx(1.0)
+
+
+def test_event_correlation_none_when_absent():
+    golden = PicsProfile("g", {0: {0: 10.0}})
+    assert event_correlation(golden, {}, Event.FL_MO) is None
+
+
+def test_box_stats_ordering():
+    box = BoxStats.from_values([0.9, 0.1, 0.5, 0.3, 0.7])
+    assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+    assert box.median == pytest.approx(0.5)
+    assert box.n == 5
+
+
+def test_box_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        BoxStats.from_values([])
+
+
+def test_correlation_boxes():
+    golden = PicsProfile(
+        "g", {0: {ST_L1: 10.0}, 1: {ST_L1: 30.0}}
+    )
+    counts = {(0, int(Event.ST_L1)): 1, (1, int(Event.ST_L1)): 3}
+    boxes = correlation_boxes({"b1": (golden, counts)})
+    assert Event.ST_L1 in boxes
+    assert Event.FL_MO not in boxes
+
+
+def test_stall_coverage_percentiles():
+    histogram = {1: 90, 2: 9, 100: 1}
+    cov = StallCoverage.from_histogram(histogram)
+    assert cov.episodes == 100
+    assert cov.p50 == 1.0
+    assert cov.p99 <= 2.0
+    assert cov.maximum == 100
+
+
+def test_stall_coverage_empty_rejected():
+    with pytest.raises(ValueError):
+        StallCoverage.from_histogram({})
+
+
+def test_merged_stall_coverage():
+    cov = merged_stall_coverage([{1: 50}, {1: 40, 3: 10}])
+    assert cov.episodes == 100
+    assert cov.p50 == 1.0
+    assert cov.maximum == 3

@@ -1,0 +1,86 @@
+"""Tests for PICS differencing."""
+
+import pytest
+
+from repro.core.diff import diff_profiles, render_diff
+from repro.core.events import Event
+from repro.core.pics import Granularity, PicsProfile
+
+ST_LLC = 1 << Event.ST_LLC
+DR_SQ = 1 << Event.DR_SQ
+
+
+def profiles():
+    before = PicsProfile(
+        "before", {0: {ST_LLC: 100.0}, 1: {0: 20.0}, 2: {DR_SQ: 5.0}}
+    )
+    after = PicsProfile(
+        "after", {0: {ST_LLC: 10.0}, 1: {0: 20.0}, 2: {DR_SQ: 45.0}}
+    )
+    return before, after
+
+
+def test_speedup():
+    before, after = profiles()
+    diff = diff_profiles(before, after)
+    assert diff.speedup == pytest.approx(125.0 / 75.0)
+
+
+def test_deltas_sorted_by_magnitude():
+    before, after = profiles()
+    diff = diff_profiles(before, after)
+    assert [d.unit for d in diff.deltas] == [0, 2, 1]
+    assert diff.deltas[0].delta == pytest.approx(-90.0)
+
+
+def test_improvements_and_regressions():
+    before, after = profiles()
+    diff = diff_profiles(before, after)
+    assert [d.unit for d in diff.improvements()] == [0]
+    assert [d.unit for d in diff.regressions()] == [2]
+
+
+def test_dominant_signature():
+    before, after = profiles()
+    diff = diff_profiles(before, after)
+    by_unit = {d.unit: d for d in diff.deltas}
+    assert by_unit[0].dominant_signature() == "ST-LLC"
+    assert by_unit[2].dominant_signature() == "DR-SQ"
+
+
+def test_min_cycles_filter():
+    before, after = profiles()
+    diff = diff_profiles(before, after, min_cycles=50.0)
+    assert [d.unit for d in diff.deltas] == [0]
+
+
+def test_unit_only_in_one_profile():
+    before = PicsProfile("b", {0: {0: 10.0}})
+    after = PicsProfile("a", {1: {0: 10.0}})
+    diff = diff_profiles(before, after)
+    by_unit = {d.unit: d for d in diff.deltas}
+    assert by_unit[0].delta == pytest.approx(-10.0)
+    assert by_unit[1].delta == pytest.approx(10.0)
+
+
+def test_granularity_mismatch_rejected():
+    before = PicsProfile("b", {0: {0: 1.0}})
+    after = PicsProfile("a", {"f": {0: 1.0}}, Granularity.FUNCTION)
+    with pytest.raises(ValueError, match="granularity"):
+        diff_profiles(before, after)
+
+
+def test_render_diff():
+    before, after = profiles()
+    diff = diff_profiles(before, after)
+    text = render_diff(diff, before_name="base", after_name="opt")
+    assert "speedup 1.67x" in text
+    assert "ST-LLC" in text
+    assert "base" in text and "opt" in text
+
+
+def test_identical_profiles_diff_to_nothing():
+    before, _ = profiles()
+    diff = diff_profiles(before, before)
+    assert diff.speedup == pytest.approx(1.0)
+    assert all(d.delta == 0 for d in diff.deltas)

@@ -1,0 +1,82 @@
+"""Tests for the PEBS/DCPI-style event-based sampling baseline."""
+
+import pytest
+
+from repro.core.error import pics_error
+from repro.core.event_sampling import (
+    EventBasedSampler,
+    impact_profile,
+    replay_event_sampling,
+)
+from repro.core.events import Event
+from repro.uarch.core import simulate
+from repro.workloads import build
+
+
+def test_period_validation():
+    with pytest.raises(ValueError):
+        EventBasedSampler(Event.ST_L1, 0)
+
+
+def test_counts_proportional_sampling():
+    sampler = EventBasedSampler(Event.ST_L1, period_events=4)
+    psv = 1 << Event.ST_L1
+    for _ in range(10):
+        sampler.on_commit(7, psv)
+    assert sampler.samples_taken == 2  # 10 // 4
+    assert sampler.raw[(7, psv)] == pytest.approx(8.0)
+
+
+def test_non_matching_events_ignored():
+    sampler = EventBasedSampler(Event.ST_L1, period_events=1)
+    sampler.on_commit(7, 1 << Event.FL_MB)
+    assert sampler.samples_taken == 0
+
+
+def test_combined_events_invisible():
+    """Footnote 5: co-occurring events are not observed."""
+    sampler = EventBasedSampler(Event.ST_L1, period_events=1)
+    combined = (1 << Event.ST_L1) | (1 << Event.ST_TLB)
+    sampler.on_commit(3, combined)
+    assert list(sampler.raw) == [(3, 1 << Event.ST_L1)]
+
+
+def test_replay_matches_event_counts():
+    wl = build("fotonik3d", scale=0.1)
+    result = simulate(wl.program, arch_state=wl.fresh_state())
+    sampler = replay_event_sampling(result, Event.ST_L1, 8)
+    total_events = sum(
+        count
+        for (_, e), count in result.event_counts.items()
+        if e == Event.ST_L1
+    )
+    assert sum(sampler.raw.values()) == pytest.approx(
+        (total_events // 8) * 8, abs=8 * 8
+    )
+
+
+def test_count_profile_misses_latency_hiding():
+    """The paper's core argument: count-proportional profiles diverge
+    from time-impact profiles when misses are partially hidden.
+
+    In lbm every load of the inner loop misses (similar counts), but
+    nearly all the *time* lands on the first one (the rest hide under
+    it). Event-based sampling therefore spreads its profile evenly and
+    misattributes the bottleneck."""
+    wl = build("lbm", scale=0.3)
+    result = simulate(wl.program, arch_state=wl.fresh_state())
+    golden = result.golden_profile()
+    sampler = replay_event_sampling(result, Event.ST_LLC, 4)
+    counts = sampler.profile()
+    impact = impact_profile(golden, Event.ST_LLC)
+
+    # The time impact is concentrated: the top instruction holds most.
+    top = impact.top_units(1)[0]
+    impact_share = impact.height(top) / impact.total()
+    count_share = counts.height(top) / counts.total()
+    assert impact_share > 0.6
+    assert count_share < impact_share / 2  # counts are spread evenly
+
+    # Expressed with the paper's metric: large error vs the impact.
+    error = pics_error(counts, impact, event_mask=1 << Event.ST_LLC)
+    assert error > 0.4

@@ -1,0 +1,124 @@
+"""Tests for event definitions, event sets, and the event hierarchy."""
+
+import pytest
+
+from repro.core.events import (
+    ALL_EVENTS,
+    EVENT_SETS,
+    FULL_MASK,
+    IBS_EVENTS,
+    RIS_EVENTS,
+    SPE_EVENTS,
+    TEA_EVENTS,
+    Event,
+    drained_hierarchy,
+    event_mask,
+    flushed_hierarchy,
+    select_event_set,
+    stalled_hierarchy,
+)
+
+
+def test_nine_events():
+    assert len(ALL_EVENTS) == 9
+    assert len(TEA_EVENTS) == 9
+
+
+def test_event_set_sizes_match_paper_storage_bits():
+    # Section 3: IBS, SPE, RIS store 6, 5, 7 bits respectively.
+    assert len(IBS_EVENTS) == 6
+    assert len(SPE_EVENTS) == 5
+    assert len(RIS_EVENTS) == 7
+
+
+def test_event_sets_are_subsets_of_tea():
+    for events in (IBS_EVENTS, SPE_EVENTS, RIS_EVENTS):
+        assert events < TEA_EVENTS
+
+
+def test_commit_state_prefixes():
+    assert Event.DR_L1.commit_state == "DR"
+    assert Event.ST_LLC.commit_state == "ST"
+    assert Event.FL_MB.commit_state == "FL"
+
+
+def test_display_names():
+    assert Event.ST_L1.display_name == "ST-L1"
+    assert Event.FL_MO.display_name == "FL-MO"
+
+
+def test_event_mask():
+    assert event_mask(frozenset()) == 0
+    assert event_mask({Event.DR_L1}) == 1
+    assert event_mask(TEA_EVENTS) == FULL_MASK == (1 << 9) - 1
+
+
+def test_event_sets_registry():
+    assert set(EVENT_SETS) == {"TEA", "NCI-TEA", "IBS", "SPE", "RIS"}
+    assert EVENT_SETS["NCI-TEA"] == TEA_EVENTS
+
+
+def test_hierarchies_cover_all_events():
+    covered = set()
+    for root in (stalled_hierarchy(), drained_hierarchy(),
+                 flushed_hierarchy()):
+        for node in root.walk():
+            if node.event is not None:
+                covered.add(node.event)
+    assert covered == set(Event)
+
+
+def test_stalled_hierarchy_dependency():
+    """ST-LLC is a dependent child of ST-L1 (Fig 3)."""
+    root = stalled_hierarchy()
+    l1 = next(n for n in root.walk() if n.event == Event.ST_L1)
+    assert any(c.event == Event.ST_LLC for c in l1.children)
+
+
+def test_select_event_set_sizes():
+    for bits in range(10):
+        selected = select_event_set(bits)
+        assert len(selected) <= bits
+
+
+def test_select_event_set_full_budget_selects_everything():
+    assert select_event_set(9) == frozenset(Event)
+
+
+def test_select_event_set_prefers_roots():
+    """Top-level (independent) events come before dependent ones."""
+    five = select_event_set(5)
+    # The five hierarchy roots' level-1 events minus... ST-LLC is a
+    # dependent level-2 event and must not be selected before all
+    # level-1 events are in.
+    assert Event.ST_LLC not in five
+    assert Event.ST_L1 in five
+
+
+def test_select_event_set_prefix_property():
+    """Larger budgets strictly extend smaller ones."""
+    previous = frozenset()
+    for bits in range(10):
+        current = select_event_set(bits)
+        assert previous <= current
+        previous = current
+
+
+def test_select_event_set_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        select_event_set(-1)
+
+
+def test_render_hierarchy():
+    from repro.core.events import render_all_hierarchies, render_hierarchy
+
+    text = render_all_hierarchies()
+    # All nine events appear with their display names.
+    for event in Event:
+        assert f"[{event.display_name}]" in text
+    # The ST-LLC node is nested under ST-L1 (dependent event).
+    stalled = render_hierarchy(stalled_hierarchy())
+    lines = stalled.splitlines()
+    llc_line = next(line for line in lines if "ST-LLC" in line)
+    l1_line = next(line for line in lines if "[ST-L1]" in line)
+    assert llc_line.index("`--") > l1_line.index("|--")

@@ -1,0 +1,74 @@
+"""Tests for PICS JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.io import (
+    SCHEMA,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.core.pics import Granularity, PicsProfile
+
+ST_L1 = 1 << Event.ST_L1
+
+
+def make_profile():
+    return PicsProfile(
+        "TEA",
+        {0: {0: 10.0, ST_L1: 5.5}, 3: {ST_L1: 2.0}},
+    )
+
+
+def test_roundtrip_dict():
+    profile = make_profile()
+    restored = profile_from_dict(profile_to_dict(profile))
+    assert restored.name == profile.name
+    assert restored.granularity == profile.granularity
+    assert restored.stacks == profile.stacks
+
+
+def test_roundtrip_file(tmp_path):
+    path = save_profile(make_profile(), tmp_path / "p.json")
+    restored = load_profile(path)
+    assert restored.stacks == make_profile().stacks
+
+
+def test_signatures_stored_by_name(tmp_path):
+    path = save_profile(make_profile(), tmp_path / "p.json")
+    data = json.loads(path.read_text())
+    assert data["schema"] == SCHEMA
+    names = {
+        name
+        for entry in data["units"]
+        for name in entry["stack"]
+    }
+    assert "ST-L1" in names
+    assert "Base" in names
+
+
+def test_function_granularity_roundtrip(tmp_path):
+    profile = PicsProfile(
+        "golden", {"main": {0: 7.0}}, Granularity.FUNCTION
+    )
+    path = save_profile(profile, tmp_path / "f.json")
+    restored = load_profile(path)
+    assert restored.granularity == Granularity.FUNCTION
+    assert restored.height("main") == pytest.approx(7.0)
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ValueError, match="schema"):
+        profile_from_dict({"schema": "nope", "units": []})
+
+
+def test_simulated_profile_roundtrip(mixed_result, tmp_path):
+    golden = mixed_result.golden_profile()
+    path = save_profile(golden, tmp_path / "g.json")
+    restored = load_profile(path)
+    assert restored.total() == pytest.approx(golden.total())
+    assert restored.stacks == golden.stacks

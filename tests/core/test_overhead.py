@@ -1,0 +1,97 @@
+"""Tests for the overhead models (Section 3-4 numbers)."""
+
+import pytest
+
+from repro.core.overhead import (
+    CYCLES_PER_SAMPLE,
+    SAMPLE_BYTES,
+    TIP_STORAGE_BYTES,
+    frequency_to_period,
+    golden_data_volume,
+    performance_overhead,
+    storage_table,
+    tea_power,
+    tea_storage,
+    total_storage_with_tip,
+)
+from repro.uarch.config import CoreConfig
+
+
+def test_baseline_storage_breakdown():
+    s = tea_storage()
+    assert s.fetch_buffer_bytes == 12  # paper: 12 B
+    assert s.rob_bytes == 216  # paper: 216 B
+    assert s.last_committed_bytes == 2  # paper: 2 B
+    # Paper reports 249 B; structural counting gives 242 (documented).
+    assert 240 <= s.total_bytes <= 250
+
+
+def test_rob_and_fetch_buffer_dominate():
+    s = tea_storage()
+    assert s.rob_and_fetch_buffer_fraction > 0.9  # paper: 91.7%
+
+
+def test_storage_scales_with_config():
+    config = CoreConfig()
+    config.rob_entries = 384
+    assert tea_storage(config).rob_bytes == 432
+
+
+def test_total_with_tip():
+    assert (
+        total_storage_with_tip()
+        == tea_storage().total_bytes + TIP_STORAGE_BYTES
+    )
+
+
+def test_storage_table_has_all_techniques():
+    table = storage_table()
+    assert table["IBS"] == table["SPE"] == table["RIS"] == 1
+    assert table["TIP"] == 57
+    assert table["TEA"] > 200
+
+
+def test_power_matches_paper():
+    p = tea_power()
+    assert p.milliwatts == pytest.approx(3.2, rel=0.02)
+    assert p.core_fraction < 0.002  # ~0.1%
+
+
+def test_performance_overhead_calibration():
+    # Paper: 1.1% at 4 kHz on a 3.2 GHz clock.
+    period = frequency_to_period(4)
+    assert period == 800_000
+    assert performance_overhead(period) == pytest.approx(0.011)
+
+
+def test_performance_overhead_scales_inversely():
+    assert performance_overhead(100_000) == pytest.approx(
+        8 * performance_overhead(800_000)
+    )
+
+
+def test_performance_overhead_validation():
+    with pytest.raises(ValueError):
+        performance_overhead(0)
+    with pytest.raises(ValueError):
+        frequency_to_period(0)
+
+
+def test_golden_data_volume_paper_scale():
+    """At SPEC scale the model lands near the paper's 2.7 PB/116 GB/s."""
+    # 116 GB/s at 3.2 GHz with 88 B/inst implies IPC ~ 0.41; check the
+    # rate identity rather than absolute totals.
+    volume = golden_data_volume(
+        committed_insts=1.32e9, cycles=3.2e9
+    )  # one second of execution at IPC 0.41
+    assert volume.bytes_per_second == pytest.approx(116e9, rel=0.01)
+    assert volume.total_bytes == pytest.approx(1.32e9 * SAMPLE_BYTES)
+
+
+def test_golden_data_volume_validation():
+    with pytest.raises(ValueError):
+        golden_data_volume(1, 0)
+
+
+def test_cycles_per_sample_constant_documented():
+    assert CYCLES_PER_SAMPLE == 8800

@@ -1,0 +1,114 @@
+"""Tests for phase-resolved PICS."""
+
+import pytest
+
+from repro.core.phases import (
+    PhasedTeaSampler,
+    render_phases,
+    summarise_phases,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.uarch.core import simulate
+
+
+def two_phase_program(iters=400):
+    """Phase 1: cache-missing loads; phase 2: pure compute."""
+    b = ProgramBuilder("phases")
+    b.function("memory_phase")
+    b.li("x1", iters)
+    b.li("x2", 1 << 28)
+    b.label("mem")
+    b.load("x3", "x2", 0)
+    b.addi("x2", "x2", 4096 + 64)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "mem")
+    b.function("compute_phase")
+    b.li("x1", iters * 4)
+    b.label("cpu")
+    b.mul("x4", "x4", "x4")
+    b.addi("x5", "x5", 1)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "cpu")
+    b.halt()
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def phased_run():
+    program = two_phase_program()
+    sampler = PhasedTeaSampler(period=67, window=10_000)
+    result = simulate(program, samplers=[sampler])
+    return program, sampler, result
+
+
+def test_window_validation():
+    with pytest.raises(ValueError, match="window"):
+        PhasedTeaSampler(period=10, window=0)
+
+
+def test_window_totals_match_aggregate(phased_run):
+    _, sampler, _ = phased_run
+    window_total = sum(
+        sum(raw.values()) for raw in sampler.window_raw.values()
+    )
+    assert window_total == pytest.approx(sum(sampler.raw.values()))
+
+
+def test_phase_profiles_ordered(phased_run):
+    _, sampler, _ = phased_run
+    starts = [start for start, _ in sampler.phase_profiles()]
+    assert starts == sorted(starts)
+    assert len(starts) >= 2
+
+
+def test_phases_have_distinct_characters(phased_run):
+    """Early windows are miss-dominated, late windows Base-dominated."""
+    _, sampler, _ = phased_run
+    summaries = summarise_phases(sampler)
+    assert "ST-" in summaries[0].top_signature
+    assert summaries[-1].top_signature == "Base"
+
+
+def test_signature_timeline(phased_run):
+    _, sampler, _ = phased_run
+    timeline = sampler.signature_timeline()
+    base = timeline.get("Base")
+    assert base is not None
+    # Base share grows from the memory phase to the compute phase.
+    assert base[-1] > base[0]
+
+
+def test_instruction_timeline(phased_run):
+    program, sampler, _ = phased_run
+    # The load (index 2) is hot early, cold late.
+    from repro.isa.opcodes import Opcode
+
+    load_index = next(
+        i.index for i in program if i.op == Opcode.LOAD
+    )
+    shares = sampler.instruction_timeline(load_index)
+    assert shares[0] > 0.5
+    assert shares[-1] < shares[0] / 2
+
+
+def test_render_phases(phased_run):
+    _, sampler, _ = phased_run
+    text = render_phases(sampler)
+    assert "dominant signature" in text
+    assert "Base" in text
+
+
+def test_render_empty_sampler():
+    sampler = PhasedTeaSampler(period=10, window=100)
+    assert render_phases(sampler) == "(no samples)"
+
+
+def test_phases_svg(phased_run):
+    import xml.etree.ElementTree as ET
+
+    from repro.viz.figures import phases_svg
+
+    _, sampler, _ = phased_run
+    svg = phases_svg(sampler)
+    ET.fromstring(svg)
+    assert "Base" in svg

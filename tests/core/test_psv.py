@@ -1,0 +1,63 @@
+"""Tests for PSV bit operations."""
+
+import pytest
+
+from repro.core.events import Event, FULL_MASK
+from repro.core.psv import (
+    BASE_SIGNATURE,
+    decode_psv,
+    is_combined,
+    parse_signature,
+    popcount,
+    project_psv,
+    psv_has,
+    psv_set,
+    signature_name,
+)
+
+
+def test_set_and_has():
+    psv = 0
+    psv = psv_set(psv, Event.ST_L1)
+    assert psv_has(psv, Event.ST_L1)
+    assert not psv_has(psv, Event.ST_LLC)
+
+
+def test_decode_in_bit_order():
+    psv = psv_set(psv_set(0, Event.ST_LLC), Event.DR_L1)
+    assert decode_psv(psv) == (Event.DR_L1, Event.ST_LLC)
+
+
+def test_project():
+    psv = psv_set(psv_set(0, Event.ST_L1), Event.FL_MO)
+    mask = 1 << Event.ST_L1
+    assert project_psv(psv, mask) == 1 << Event.ST_L1
+    assert project_psv(psv, FULL_MASK) == psv
+
+
+def test_popcount_and_combined():
+    assert popcount(0) == 0
+    assert not is_combined(0)
+    single = psv_set(0, Event.ST_TLB)
+    assert popcount(single) == 1
+    assert not is_combined(single)
+    double = psv_set(single, Event.ST_L1)
+    assert popcount(double) == 2
+    assert is_combined(double)
+
+
+def test_signature_names():
+    assert signature_name(0) == BASE_SIGNATURE
+    assert signature_name(1 << Event.ST_L1) == "ST-L1"
+    combined = psv_set(psv_set(0, Event.ST_L1), Event.ST_TLB)
+    assert signature_name(combined) == "ST-L1+ST-TLB"
+
+
+def test_parse_signature_roundtrip():
+    for psv in range(1 << 9):
+        assert parse_signature(signature_name(psv)) == psv
+
+
+def test_parse_signature_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown event"):
+        parse_signature("ST-L4")

@@ -1,0 +1,73 @@
+"""Tests for PICS rendering."""
+
+from repro.core.events import Event
+from repro.core.pics import Granularity, PicsProfile
+from repro.core.report import (
+    format_cycles,
+    render_comparison,
+    render_stack,
+    render_top,
+    unit_label,
+)
+from repro.isa.builder import ProgramBuilder
+
+ST_L1 = 1 << Event.ST_L1
+
+
+def make_profile():
+    return PicsProfile("TEA", {0: {0: 60.0, ST_L1: 40.0}, 1: {0: 10.0}})
+
+
+def make_program():
+    b = ProgramBuilder("p")
+    b.li("x1", 1)
+    b.addi("x1", "x1", 1)
+    b.halt()
+    return b.build()
+
+
+def test_format_cycles():
+    assert format_cycles(999) == "999"
+    assert format_cycles(1500) == "1.5K"
+    assert format_cycles(2_500_000) == "2.5M"
+    assert format_cycles(3_000_000_000) == "3.0G"
+
+
+def test_unit_label_with_program():
+    profile = make_profile()
+    label = unit_label(0, profile, make_program())
+    assert "lui" in label
+    assert "<main>" in label
+
+
+def test_unit_label_without_program():
+    assert unit_label(0, make_profile(), None) == "[   0]"
+
+
+def test_unit_label_function_granularity():
+    profile = PicsProfile("t", {"main": {0: 5.0}}, Granularity.FUNCTION)
+    assert unit_label("main", profile, None) == "main"
+
+
+def test_render_stack_contains_signatures_and_shares():
+    profile = make_profile()
+    text = render_stack(profile, 0, profile.total())
+    assert "ST-L1" in text
+    assert "Base" in text
+    assert "#" in text
+    assert "90.91%" in text  # 100 of 110 total
+
+
+def test_render_top_orders_by_height():
+    profile = make_profile()
+    text = render_top(profile, n=2)
+    assert text.index("[   0]") < text.index("[   1]")
+    assert "TEA PICS" in text
+
+
+def test_render_comparison_includes_all_profiles():
+    a = make_profile()
+    b = PicsProfile("golden", {0: {0: 100.0}})
+    text = render_comparison([a, b], 0)
+    assert "--- TEA ---" in text
+    assert "--- golden ---" in text

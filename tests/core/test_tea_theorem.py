@@ -1,0 +1,51 @@
+"""The TEA limit theorem: sampling every cycle IS the golden reference.
+
+TEA's sampling policy is the golden attribution policy applied to the
+sampled cycle. Therefore a (hypothetical) TEA sampling at period 1 with
+no jitter must reproduce the golden-reference PICS *exactly* -- not
+approximately. This is the cleanest statement of time-proportionality
+and exercises every deferred-capture path (stall, drain, flush) at
+maximum rate, including through fast-forward windows.
+"""
+
+import pytest
+
+from repro.core.samplers import TeaSampler
+from repro.uarch.core import simulate
+from repro.workloads import build
+
+
+def assert_equals_golden(program, arch_state=None):
+    tea = TeaSampler(period=1, jitter=False)
+    result = simulate(program, samplers=[tea], arch_state=arch_state)
+    golden = result.golden_raw
+    sampled = tea.raw
+    assert set(sampled) == set(golden)
+    for key, cycles in golden.items():
+        assert sampled[key] == pytest.approx(cycles), key
+    assert sum(sampled.values()) == pytest.approx(result.cycles)
+
+
+def test_tea_period_one_equals_golden_mixed(mixed_program):
+    assert_equals_golden(mixed_program)
+
+
+@pytest.mark.parametrize("name", ["nab", "xz", "gcc", "lbm"])
+def test_tea_period_one_equals_golden_workloads(name):
+    """Flush-heavy (FL-EX, FL-MB, FL-MO) and front-end-bound kernels."""
+    wl = build(name, scale=0.06)
+    assert_equals_golden(wl.program, wl.fresh_state())
+
+
+def test_nci_tea_period_one_differs_only_on_flushes():
+    """At period 1, NCI-TEA's total still covers every cycle, but its
+    flush attribution moves cycles to different instructions."""
+    from repro.core.samplers import NciTeaSampler
+
+    wl = build("nab", scale=0.06)
+    nci = NciTeaSampler(period=1, jitter=False)
+    result = simulate(
+        wl.program, samplers=[nci], arch_state=wl.fresh_state()
+    )
+    assert sum(nci.raw.values()) == pytest.approx(result.cycles)
+    assert nci.raw != result.golden_raw  # the flushes moved

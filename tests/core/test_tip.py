@@ -1,0 +1,48 @@
+"""Tests for the TIP baseline sampler (time-proportional, no events)."""
+
+import pytest
+
+from repro.core.error import pics_error
+from repro.core.samplers import TipSampler, make_sampler
+from repro.uarch.core import simulate
+
+
+def test_factory():
+    sampler = make_sampler("TIP", 100)
+    assert isinstance(sampler, TipSampler)
+    assert sampler.name == "TIP"
+    assert sampler.events == frozenset()
+    assert sampler.mask == 0
+
+
+def test_tip_profiles_have_only_base(mixed_program):
+    tip = make_sampler("TIP", 151)
+    simulate(mixed_program, samplers=[tip])
+    for (index, psv) in tip.raw:
+        assert psv == 0
+
+
+def test_tip_answers_q1_like_tea(mixed_program):
+    """TIP's per-instruction time shares match TEA's (same policy)."""
+    tea = make_sampler("TEA", 151, seed=5)
+    tip = make_sampler("TIP", 151, seed=5)
+    result = simulate(mixed_program, samplers=[tea, tip])
+    tea_profile = tea.profile()
+    tip_profile = tip.profile()
+    for unit in tea_profile.units():
+        assert tip_profile.height(unit) == pytest.approx(
+            tea_profile.height(unit)
+        )
+
+
+def test_tip_cannot_answer_q2(mixed_program):
+    """Against an event-aware golden reference TIP shows the event
+    information loss TEA was built to fix."""
+    tip = make_sampler("TIP", 151)
+    result = simulate(mixed_program, samplers=[tip])
+    golden = result.golden_profile()
+    # Compared on the full event space, TIP's Base-only stacks miss all
+    # event components.
+    full_error = pics_error(tip.profile(), golden, normalize=True)
+    masked_error = pics_error(tip.profile(), golden, event_mask=0)
+    assert full_error > masked_error

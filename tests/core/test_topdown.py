@@ -1,0 +1,78 @@
+"""Tests for the Top-Down baseline."""
+
+import pytest
+
+from repro.core.states import CommitState
+from repro.core.topdown import TopDownResult, format_top_down, top_down
+from repro.isa.builder import ProgramBuilder
+from repro.uarch.core import simulate
+
+
+def test_fractions_sum_to_one(mixed_result):
+    td = top_down(mixed_result)
+    total = (
+        td.retiring
+        + td.bad_speculation
+        + td.frontend_bound
+        + td.backend_bound
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_empty_run_rejected(mixed_result):
+    import copy
+
+    broken = copy.copy(mixed_result)
+    broken.cycles = 0
+    with pytest.raises(ValueError):
+        top_down(broken)
+
+
+def test_compute_heavy_program_is_retiring_dominated():
+    b = ProgramBuilder("t")
+    b.li("x9", 400)
+    b.label("loop")
+    for n in range(8):
+        b.addi(f"x{1 + n % 4}", f"x{1 + n % 4}", 1)
+    b.addi("x9", "x9", -1)
+    b.bne("x9", "x0", "loop")
+    b.halt()
+    td = top_down(simulate(b.build()))
+    assert td.retiring > 0.3
+    assert td.dominant in ("retiring", "backend_bound")
+
+
+def test_stall_heavy_program_is_backend_bound():
+    b = ProgramBuilder("t")
+    b.li("x9", 200)
+    b.li("x2", 1 << 28)
+    b.label("loop")
+    b.load("x3", "x2", 0)
+    b.add("x2", "x2", "x3")
+    b.addi("x2", "x2", 4096 + 64)
+    b.addi("x9", "x9", -1)
+    b.bne("x9", "x0", "loop")
+    b.halt()
+    td = top_down(simulate(b.build()))
+    assert td.dominant == "backend_bound"
+    assert td.backend_bound > 0.6
+
+
+def test_serial_heavy_program_has_bad_speculation():
+    b = ProgramBuilder("t")
+    b.li("x9", 100)
+    b.label("loop")
+    b.serial()
+    b.addi("x9", "x9", -1)
+    b.bne("x9", "x0", "loop")
+    b.halt()
+    td = top_down(simulate(b.build()))
+    assert td.bad_speculation > 0.1
+
+
+def test_format_table():
+    td = TopDownResult(0.4, 0.1, 0.2, 0.3)
+    text = format_top_down({"demo": td})
+    assert "retiring" in text
+    assert "demo" in text
+    assert td.dominant == "retiring"

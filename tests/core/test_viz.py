@@ -1,0 +1,121 @@
+"""Tests for the SVG canvas and chart builders."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.correlation import BoxStats
+from repro.viz.charts import bar_chart, box_plot, line_chart, stacked_bar_chart
+from repro.viz.svg import SvgCanvas
+
+
+def parse_svg(text: str) -> ET.Element:
+    """Round-trip through an XML parser: the document must be valid."""
+    return ET.fromstring(text)
+
+
+def test_canvas_dimensions_validated():
+    with pytest.raises(ValueError):
+        SvgCanvas(0, 100)
+
+
+def test_canvas_primitives_render_valid_xml():
+    canvas = SvgCanvas(200, 100)
+    canvas.rect(1, 2, 30, 40, title="tool<tip>")
+    canvas.line(0, 0, 10, 10, dash="4 2")
+    canvas.polyline([(0, 0), (5, 5), (10, 0)])
+    canvas.circle(50, 50, 3)
+    canvas.text(10, 20, "hello & <world>", rotate=-35, bold=True)
+    root = parse_svg(canvas.render())
+    tags = [child.tag.split("}")[1] for child in root]
+    assert "rect" in tags and "line" in tags and "text" in tags
+
+
+def test_canvas_save(tmp_path):
+    canvas = SvgCanvas(10, 10)
+    path = canvas.save(tmp_path / "out.svg")
+    assert path.exists()
+    parse_svg(path.read_text())
+
+
+def test_bar_chart():
+    svg = bar_chart(
+        ["a", "b", "c"],
+        {"TEA": [0.1, 0.2, 0.3], "IBS": [0.5, 0.6, 0.7]},
+        title="T",
+        percent=True,
+    )
+    root = parse_svg(svg)
+    rects = [
+        el for el in root.iter() if el.tag.endswith("rect")
+    ]
+    assert len(rects) >= 6  # at least one per bar
+
+
+def test_bar_chart_length_mismatch():
+    with pytest.raises(ValueError, match="values"):
+        bar_chart(["a"], {"s": [1.0, 2.0]}, title="T")
+
+
+def test_line_chart():
+    svg = line_chart(
+        [1, 2, 4, 8],
+        {"err": [0.1, 0.15, 0.2, 0.4]},
+        title="freq",
+        xlabel="period",
+    )
+    root = parse_svg(svg)
+    assert any(el.tag.endswith("polyline") for el in root.iter())
+
+
+def test_line_chart_length_mismatch():
+    with pytest.raises(ValueError, match="mismatch"):
+        line_chart([1, 2], {"s": [1.0]}, title="T")
+
+
+def test_box_plot_with_missing_entries():
+    boxes = [
+        BoxStats(minimum=0.1, q1=0.3, median=0.5, q3=0.7, maximum=0.9,
+                 n=4),
+        None,
+    ]
+    svg = box_plot(["ST-L1", "FL-MO"], boxes, title="corr")
+    root = parse_svg(svg)
+    assert "n/a" in svg
+
+
+def test_box_plot_length_mismatch():
+    with pytest.raises(ValueError, match="equal length"):
+        box_plot(["a"], [], title="T")
+
+
+def test_stacked_bar_chart():
+    svg = stacked_bar_chart(
+        ["I0 GR", "I0 TEA"],
+        [
+            {"ST-L1+ST-LLC": 0.6, "Base": 0.1},
+            {"ST-L1+ST-LLC": 0.58, "Base": 0.12},
+        ],
+        title="PICS",
+        normalise_to=1.0,
+    )
+    root = parse_svg(svg)
+    assert "ST-L1+ST-LLC" in svg  # legend entry
+
+
+def test_stacked_bar_chart_length_mismatch():
+    with pytest.raises(ValueError, match="equal length"):
+        stacked_bar_chart(["a"], [], title="T")
+
+
+def test_figures_from_experiment_results(small_runner, tmp_path):
+    """The per-figure SVG builders work on real experiment results."""
+    from repro.experiments import accuracy, case_nab
+    from repro.viz.figures import fig5_svg, fig12_svg
+
+    fig5 = fig5_svg(
+        accuracy.run(small_runner, names=("lbm", "nab"))
+    )
+    parse_svg(fig5)
+    fig12 = fig12_svg(case_nab.run(small_runner))
+    parse_svg(fig12)

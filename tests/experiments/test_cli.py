@@ -1,0 +1,105 @@
+"""Tests for the CLI tool commands (profile / diff / figures)."""
+
+import pytest
+
+from repro.cli import main, parse_workload_spec
+
+
+def test_parse_workload_spec_plain():
+    wl = parse_workload_spec("lbm", scale=0.1)
+    assert wl.name == "lbm"
+
+
+def test_parse_workload_spec_with_args():
+    wl = parse_workload_spec("lbm:prefetch_distance=3", scale=0.1)
+    assert wl.params["prefetch_distance"] == 3
+    wl = parse_workload_spec("nab:fast_math=true", scale=0.1)
+    assert wl.params["fast_math"] is True
+
+
+def test_parse_workload_spec_unknown_name():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        parse_workload_spec("doom", scale=1.0)
+
+
+def test_parse_workload_spec_malformed_arg():
+    with pytest.raises(SystemExit, match="bad workload argument"):
+        parse_workload_spec("lbm:oops", scale=1.0)
+
+
+def test_cli_profile(capsys):
+    assert main(
+        ["--scale", "0.1", "--period", "101", "profile", "exchange2",
+         "--top", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "TEA PICS" in out
+    assert "commit-state cycle stack" in out
+
+
+def test_cli_profile_function_granularity(capsys):
+    assert main(
+        ["--scale", "0.1", "--period", "101", "profile", "nab",
+         "--granularity", "function", "--technique", "TIP"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "TIP PICS" in out
+    assert "function granularity" in out
+
+
+def test_cli_diff(capsys):
+    assert main(
+        ["--scale", "0.1", "--period", "101", "diff", "nab",
+         "nab:fast_math=true", "--top", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "PICS diff" in out
+
+
+def test_cli_figures(tmp_path, capsys):
+    assert main(
+        ["--scale", "0.08", "--period", "67", "figures", "--out",
+         str(tmp_path)]
+    ) == 0
+    written = list(tmp_path.glob("*.svg"))
+    assert len(written) >= 10
+    for path in written:
+        assert path.read_text().startswith("<svg")
+
+
+def test_cli_experiment_command(capsys):
+    assert main(["table2"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_cli_profile_asm_file(tmp_path, capsys):
+    asm = tmp_path / "kernel.asm"
+    asm.write_text(
+        ".func main\n"
+        "    li x1, 50\n"
+        "loop:\n"
+        "    addi x1, x1, -1\n"
+        "    bne x1, x0, loop\n"
+        "    halt\n"
+    )
+    assert main(
+        ["--period", "31", "profile", str(asm), "--top", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "kernel" in out
+    assert "TEA PICS" in out
+
+
+def test_cli_profile_missing_asm_file():
+    with pytest.raises(SystemExit, match="no such assembly file"):
+        main(["profile", "/nonexistent/kernel.asm"])
+
+
+def test_cli_advise(capsys):
+    assert main(
+        ["--scale", "0.15", "--period", "101", "advise", "lbm"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "llc-missing-loads" in out
+    assert "try:" in out

@@ -1,0 +1,49 @@
+"""Tests for the sampling-noise experiment."""
+
+import pytest
+
+from repro.experiments import noise
+from repro.experiments.noise import NoiseStats
+
+
+def test_noise_stats_from_values():
+    stats = NoiseStats.from_values([0.1, 0.2, 0.3])
+    assert stats.mean == pytest.approx(0.2)
+    assert stats.std == pytest.approx(0.0816496580927726)
+    assert stats.runs == 3
+
+
+def test_noise_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        NoiseStats.from_values([])
+
+
+def test_noise_run_structure():
+    result = noise.run(
+        names=("exchange2",),
+        techniques=("TEA", "IBS"),
+        seeds=(1, 2, 3),
+        scale=0.1,
+        period=101,
+    )
+    assert set(result.stats) == {"exchange2"}
+    stats = result.stats["exchange2"]
+    assert set(stats) == {"TEA", "IBS"}
+    for technique_stats in stats.values():
+        assert technique_stats.runs == 3
+        assert 0.0 <= technique_stats.mean <= 1.0
+        assert technique_stats.std >= 0.0
+    # TEA below IBS even at a tiny scale.
+    assert stats["TEA"].mean < stats["IBS"].mean
+
+
+def test_format_result():
+    result = noise.run(
+        names=("exchange2",),
+        seeds=(1, 2),
+        scale=0.1,
+        period=101,
+    )
+    text = noise.format_result(result)
+    assert "exchange2" in text
+    assert "+/-" in text

@@ -1,0 +1,218 @@
+"""Tests for the functional interpreter."""
+
+import math
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState, Interpreter, InterpreterError
+from repro.isa.opcodes import Opcode
+
+
+def run_program(b, state=None):
+    interp = Interpreter(b.build(), state)
+    return list(interp.run()), interp
+
+
+def test_arithmetic_chain():
+    b = ProgramBuilder("t")
+    b.li("x1", 10)
+    b.addi("x2", "x1", 5)
+    b.mul("x3", "x2", "x1")
+    b.sub("x4", "x3", "x1")
+    b.halt()
+    dyns, interp = run_program(b)
+    assert interp.state.int_regs[2] == 15
+    assert interp.state.int_regs[3] == 150
+    assert interp.state.int_regs[4] == 140
+
+
+def test_x0_is_hardwired_zero():
+    b = ProgramBuilder("t")
+    b.li("x0", 99)
+    b.addi("x1", "x0", 1)
+    b.halt()
+    _, interp = run_program(b)
+    assert interp.state.int_regs[0] == 0
+    assert interp.state.int_regs[1] == 1
+
+
+def test_division_semantics():
+    b = ProgramBuilder("t")
+    b.li("x1", 7)
+    b.li("x2", 2)
+    b.div("x3", "x1", "x2")
+    b.rem("x4", "x1", "x2")
+    b.li("x5", 0)
+    b.div("x6", "x1", "x5")  # divide by zero -> 0
+    b.rem("x7", "x1", "x5")  # rem by zero -> dividend
+    b.li("x8", -7)
+    b.div("x9", "x8", "x2")  # truncating: -3
+    b.halt()
+    _, interp = run_program(b)
+    regs = interp.state.int_regs
+    assert regs[3] == 3
+    assert regs[4] == 1
+    assert regs[6] == 0
+    assert regs[7] == 7
+    assert regs[9] == -3
+
+
+def test_fp_ops():
+    b = ProgramBuilder("t")
+    b.li("x1", 9)
+    b.fcvt("f1", "x1")
+    b.fsqrt("f2", "f1")
+    b.fmul("f3", "f2", "f2")
+    b.fdiv("f4", "f3", "f2")
+    b.fmin("f5", "f2", "f4")
+    b.fmax("f6", "f2", "f4")
+    b.fmv("x2", "f2")
+    b.halt()
+    _, interp = run_program(b)
+    fp = interp.state.fp_regs
+    assert fp[2] == pytest.approx(3.0)
+    assert fp[3] == pytest.approx(9.0)
+    assert fp[4] == pytest.approx(3.0)
+    assert interp.state.int_regs[2] == 3
+
+
+def test_fsqrt_of_negative_uses_abs():
+    b = ProgramBuilder("t")
+    b.li("x1", -16)
+    b.fcvt("f1", "x1")
+    b.fsqrt("f2", "f1")
+    b.halt()
+    _, interp = run_program(b)
+    assert interp.state.fp_regs[2] == pytest.approx(4.0)
+
+
+def test_memory_roundtrip():
+    b = ProgramBuilder("t")
+    b.li("x1", 1000)
+    b.li("x2", 42)
+    b.store("x2", "x1", 24)
+    b.load("x3", "x1", 24)
+    b.halt()
+    dyns, interp = run_program(b)
+    assert interp.state.int_regs[3] == 42
+    store_dyn = dyns[2]
+    assert store_dyn.eff_addr == 1024
+    load_dyn = dyns[3]
+    assert load_dyn.eff_addr == 1024
+
+
+def test_uninitialised_memory_reads_zero():
+    b = ProgramBuilder("t")
+    b.li("x1", 123456)
+    b.load("x2", "x1", 0)
+    b.halt()
+    _, interp = run_program(b)
+    assert interp.state.int_regs[2] == 0
+
+
+def test_branch_taken_and_not_taken():
+    b = ProgramBuilder("t")
+    b.li("x1", 3)
+    b.label("loop")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    dyns, _ = run_program(b)
+    branches = [d for d in dyns if d.static.op == Opcode.BNE]
+    assert [d.taken for d in branches] == [True, True, False]
+    assert branches[0].next_index == 1
+    assert branches[-1].next_index == 3
+
+
+def test_all_branch_conditions():
+    b = ProgramBuilder("t")
+    b.li("x1", 5)
+    b.li("x2", 5)
+    b.beq("x1", "x2", "l1")
+    b.halt()
+    b.label("l1")
+    b.li("x3", 4)
+    b.blt("x3", "x1", "l2")
+    b.halt()
+    b.label("l2")
+    b.bge("x1", "x2", "l3")
+    b.halt()
+    b.label("l3")
+    b.halt()
+    dyns, interp = run_program(b)
+    assert interp.halted
+    assert dyns[-1].static.index == len(b.build()) - 1
+
+
+def test_call_ret():
+    b = ProgramBuilder("t")
+    b.call("fn")
+    b.li("x2", 7)
+    b.halt()
+    b.function("fn")
+    b.label("fn")
+    b.li("x3", 9)
+    b.ret()
+    dyns, interp = run_program(b)
+    assert interp.state.int_regs[2] == 7
+    assert interp.state.int_regs[3] == 9
+    # CALL recorded the return address.
+    call_dyn = dyns[0]
+    assert call_dyn.taken
+    ret_dyn = next(d for d in dyns if d.static.op == Opcode.RET)
+    assert ret_dyn.next_index == 1
+
+
+def test_prefetch_has_address_but_no_effect():
+    b = ProgramBuilder("t")
+    b.li("x1", 2048)
+    b.prefetch("x1", 64)
+    b.halt()
+    dyns, interp = run_program(b)
+    assert dyns[1].eff_addr == 2112
+    assert not interp.state.memory
+
+
+def test_divergence_guard():
+    b = ProgramBuilder("t")
+    b.label("spin")
+    b.jump("spin")
+    b.halt()
+    interp = Interpreter(b.build(), max_insts=100)
+    with pytest.raises(InterpreterError, match="exceeded"):
+        list(interp.run())
+
+
+def test_sequence_numbers_are_dense():
+    b = ProgramBuilder("t")
+    b.li("x1", 4)
+    b.label("loop")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    dyns, _ = run_program(b)
+    assert [d.seq for d in dyns] == list(range(len(dyns)))
+
+
+def test_shift_ops():
+    b = ProgramBuilder("t")
+    b.li("x1", 3)
+    b.li("x2", 2)
+    b.sll("x3", "x1", "x2")
+    b.srl("x4", "x3", "x2")
+    b.halt()
+    _, interp = run_program(b)
+    assert interp.state.int_regs[3] == 12
+    assert interp.state.int_regs[4] == 3
+
+
+def test_preinitialised_state():
+    state = ArchState()
+    state.write_mem(512, 77)
+    b = ProgramBuilder("t")
+    b.li("x1", 512)
+    b.load("x2", "x1", 0)
+    b.halt()
+    _, interp = run_program(b, state)
+    assert interp.state.int_regs[2] == 77

@@ -1,0 +1,79 @@
+"""Tests for the opcode vocabulary."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CONTROL_OPS,
+    MEMORY_OPS,
+    MEMORY_READ_OPS,
+    MEMORY_WRITE_OPS,
+    OpClass,
+    Opcode,
+    is_control,
+    is_memory,
+    op_class,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert isinstance(op_class(op), OpClass)
+
+
+def test_loads_are_memory_reads():
+    assert Opcode.LOAD in MEMORY_READ_OPS
+    assert Opcode.FLOAD in MEMORY_READ_OPS
+    assert Opcode.LOAD not in MEMORY_WRITE_OPS
+
+
+def test_stores_are_memory_writes():
+    assert Opcode.STORE in MEMORY_WRITE_OPS
+    assert Opcode.FSTORE in MEMORY_WRITE_OPS
+
+
+def test_prefetch_is_memory_but_not_read_or_write():
+    assert Opcode.PREFETCH in MEMORY_OPS
+    assert Opcode.PREFETCH not in MEMORY_READ_OPS
+    assert Opcode.PREFETCH not in MEMORY_WRITE_OPS
+
+
+def test_branch_ops_are_control():
+    assert BRANCH_OPS <= CONTROL_OPS
+    for op in (Opcode.JUMP, Opcode.CALL, Opcode.RET):
+        assert op in CONTROL_OPS
+
+
+def test_is_memory_and_is_control_helpers():
+    assert is_memory(Opcode.LOAD)
+    assert not is_memory(Opcode.ADD)
+    assert is_control(Opcode.BEQ)
+    assert not is_control(Opcode.MUL)
+
+
+@pytest.mark.parametrize(
+    "op,expected",
+    [
+        (Opcode.ADD, OpClass.INT_ALU),
+        (Opcode.MUL, OpClass.INT_MUL),
+        (Opcode.DIV, OpClass.INT_DIV),
+        (Opcode.FADD, OpClass.FP_ADD),
+        (Opcode.FSQRT, OpClass.FP_SQRT),
+        (Opcode.LOAD, OpClass.LOAD),
+        (Opcode.STORE, OpClass.STORE),
+        (Opcode.BEQ, OpClass.BRANCH),
+        (Opcode.JUMP, OpClass.JUMP),
+        (Opcode.SERIAL, OpClass.SERIAL),
+        (Opcode.HALT, OpClass.HALT),
+    ],
+)
+def test_op_class_mapping(op, expected):
+    assert op_class(op) == expected
+
+
+def test_fp_ops_map_to_fp_classes():
+    for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMIN, Opcode.FMAX,
+               Opcode.FCVT, Opcode.FMV):
+        assert op_class(op) in (OpClass.FP_ADD,)
+    assert op_class(Opcode.FMUL) == OpClass.FP_MUL
+    assert op_class(Opcode.FDIV) == OpClass.FP_DIV

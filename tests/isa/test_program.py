@@ -1,0 +1,95 @@
+"""Tests for Program validation and symbol information."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import StaticInst
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program, ProgramError
+
+
+def build_simple():
+    b = ProgramBuilder("p")
+    b.li("x1", 2)  # 0
+    b.label("loop")  # 1
+    b.addi("x1", "x1", -1)  # 1
+    b.bne("x1", "x0", "loop")  # 2
+    b.nop()  # 3
+    b.halt()  # 4
+    return b.build()
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ProgramError, match="empty"):
+        Program("p", [])
+
+
+def test_program_without_halt_rejected():
+    with pytest.raises(ProgramError, match="HALT"):
+        Program("p", [StaticInst(index=0, op=Opcode.NOP)])
+
+
+def test_non_sequential_indices_rejected():
+    insts = [
+        StaticInst(index=1, op=Opcode.HALT),
+    ]
+    with pytest.raises(ProgramError, match="index"):
+        Program("p", insts)
+
+
+def test_out_of_range_target_rejected():
+    insts = [
+        StaticInst(index=0, op=Opcode.JUMP, target=10),
+        StaticInst(index=1, op=Opcode.HALT),
+    ]
+    with pytest.raises(ProgramError, match="targets"):
+        Program("p", insts)
+
+
+def test_basic_block_leaders():
+    p = build_simple()
+    # Branch target (1) and post-branch (3) start blocks.
+    assert p.bb_of(0) == 0
+    assert p.bb_of(1) == 1
+    assert p.bb_of(2) == 1
+    assert p.bb_of(3) == 3
+
+
+def test_function_extents():
+    b = ProgramBuilder("p")
+    b.nop()
+    b.function("f")
+    b.nop()
+    b.nop()
+    b.halt()
+    p = b.build()
+    names = [f.name for f in p.functions]
+    assert names == ["main", "f"]
+    assert p.func_of(0) == "main"
+    assert p.func_of(3) == "f"
+    assert 2 in p.functions[1]
+    assert 0 not in p.functions[1]
+
+
+def test_branch_indices():
+    p = build_simple()
+    assert p.branch_indices == {2}
+
+
+def test_addresses_are_4_byte():
+    p = build_simple()
+    assert p[2].address == 8
+
+
+def test_disasm_contains_labels_and_functions():
+    p = build_simple()
+    text = p.disasm()
+    assert "<main>:" in text
+    assert "loop:" in text
+    assert "halt" in text
+
+
+def test_iteration_and_indexing():
+    p = build_simple()
+    assert len(list(p)) == len(p) == 5
+    assert p[4].op == Opcode.HALT

@@ -1,0 +1,129 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import SetAssocCache
+
+
+def make_cache(size=1024, assoc=2, line=64, mshrs=0):
+    return SetAssocCache("T", size, assoc, line, mshrs)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError, match="divisible"):
+        SetAssocCache("T", 1000, 3, 64)
+    with pytest.raises(ValueError, match="power of 2"):
+        SetAssocCache("T", 960, 2, 48)
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    first = cache.access(0, now=10, fill_latency=20)
+    assert first.miss and not first.hit
+    assert first.ready_time == 30
+    second = cache.access(0, now=40, fill_latency=20)
+    assert second.hit
+    assert second.ready_time == 40
+
+
+def test_secondary_miss_waits_for_fill():
+    cache = make_cache()
+    cache.access(0, now=10, fill_latency=50)
+    secondary = cache.access(8, now=20, fill_latency=50)  # same line
+    assert secondary.secondary
+    assert not secondary.miss
+    assert secondary.ready_time == 60
+    assert cache.stats.secondary_misses == 1
+
+
+def test_same_line_addresses_share_entry():
+    cache = make_cache()
+    cache.access(0, now=0, fill_latency=0)
+    result = cache.access(63, now=1, fill_latency=0)
+    assert result.hit
+
+
+def test_lru_eviction():
+    cache = make_cache(size=256, assoc=2, line=64)  # 2 sets
+    # Set 0 holds lines 0 and 2 (line_addr 0 and 128).
+    cache.access(0, now=0, fill_latency=0)
+    cache.access(128, now=1, fill_latency=0)
+    cache.access(0, now=2, fill_latency=0)  # touch 0: 128 becomes LRU
+    cache.access(256, now=3, fill_latency=0)  # evicts 128
+    assert cache.probe(0)
+    assert not cache.probe(128)
+    assert cache.probe(256)
+    assert cache.stats.evictions == 1
+
+
+def test_dirty_eviction_reports_writeback():
+    cache = make_cache(size=128, assoc=1, line=64)  # 2 sets, direct-mapped
+    cache.access(0, now=0, fill_latency=0, is_write=True)
+    result = cache.access(128, now=1, fill_latency=0)  # same set
+    assert result.writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = make_cache(size=128, assoc=1, line=64)
+    cache.access(0, now=0, fill_latency=0)
+    result = cache.access(128, now=1, fill_latency=0)
+    assert not result.writeback
+
+
+def test_write_marks_line_dirty_on_hit():
+    cache = make_cache(size=128, assoc=1, line=64)
+    cache.access(0, now=0, fill_latency=0)
+    cache.access(0, now=1, fill_latency=0, is_write=True)
+    result = cache.access(128, now=2, fill_latency=0)
+    assert result.writeback
+
+
+def test_mshr_limit_delays_new_fills():
+    cache = make_cache(mshrs=1)
+    first = cache.access(0, now=0, fill_latency=100)
+    assert first.mshr_delay == 0
+    second = cache.access(1024, now=10, fill_latency=100)
+    # Must wait until the first fill completes at 100.
+    assert second.mshr_delay == 90
+    assert second.ready_time == 200
+
+
+def test_mshr_frees_after_fill():
+    cache = make_cache(mshrs=1)
+    cache.access(0, now=0, fill_latency=10)
+    result = cache.access(1024, now=20, fill_latency=10)
+    assert result.mshr_delay == 0
+
+
+def test_inflight_count():
+    cache = make_cache(mshrs=8)
+    cache.access(0, now=0, fill_latency=100)
+    cache.access(1024, now=0, fill_latency=100)
+    assert cache.inflight_count(50) == 2
+    assert cache.inflight_count(150) == 0
+
+
+def test_stats_hit_and_miss_rate():
+    cache = make_cache()
+    cache.access(0, now=0, fill_latency=0)
+    cache.access(0, now=1, fill_latency=0)
+    cache.access(0, now=2, fill_latency=0)
+    assert cache.stats.accesses == 3
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 2
+    assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+
+def test_reset_clears_everything():
+    cache = make_cache()
+    cache.access(0, now=0, fill_latency=10)
+    cache.reset()
+    assert not cache.probe(0)
+    assert cache.stats.accesses == 0
+
+
+def test_probe_has_no_side_effects():
+    cache = make_cache()
+    assert not cache.probe(0)
+    assert cache.stats.accesses == 0

@@ -1,0 +1,49 @@
+"""Tests for the DRAM bandwidth model."""
+
+import pytest
+
+from repro.memory.dram import Dram
+
+
+def test_idle_access_latency():
+    dram = Dram(latency=100, cycles_per_line=10)
+    assert dram.access(now=0) == 100
+
+
+def test_back_to_back_queueing():
+    dram = Dram(latency=100, cycles_per_line=10)
+    assert dram.access(now=0) == 100
+    # Second request at the same instant waits one service slot.
+    assert dram.access(now=0) == 110
+    assert dram.access(now=0) == 120
+
+
+def test_spaced_requests_do_not_queue():
+    dram = Dram(latency=100, cycles_per_line=10)
+    dram.access(now=0)
+    assert dram.access(now=50) == 100
+
+
+def test_write_counts_bandwidth():
+    dram = Dram(latency=100, cycles_per_line=10)
+    dram.access(now=0, is_write=True)
+    assert dram.stats.writes == 1
+    # The write occupies the channel, delaying the read.
+    assert dram.access(now=0) == 110
+
+
+def test_stats():
+    dram = Dram(latency=100, cycles_per_line=10)
+    dram.access(0)
+    dram.access(0)
+    assert dram.stats.accesses == 2
+    assert dram.stats.total_queue_cycles == 10
+    assert dram.stats.avg_queue_delay == pytest.approx(5.0)
+
+
+def test_reset():
+    dram = Dram()
+    dram.access(0)
+    dram.reset()
+    assert dram.stats.accesses == 0
+    assert dram.access(0) == dram.latency

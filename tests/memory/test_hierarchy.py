@@ -1,0 +1,116 @@
+"""Tests for the memory-hierarchy facade."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+
+def make_hierarchy(**overrides):
+    config = MemoryConfig(next_line_prefetch=False)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return MemoryHierarchy(config)
+
+
+def test_load_l1_hit_latency():
+    h = make_hierarchy()
+    h.access_load(0, now=0)  # warm the line (and TLB)
+    warm = h.access_load(8, now=1000)
+    assert warm.ready_time == 1000 + h.config.l1d_latency
+    assert not warm.l1_miss and not warm.llc_miss and not warm.tlb_miss
+
+
+def test_cold_load_misses_everything():
+    h = make_hierarchy()
+    access = h.access_load(1 << 22, now=0)
+    assert access.l1_miss
+    assert access.llc_miss
+    assert access.tlb_miss
+    # Latency covers TLB walk + miss detects + DRAM.
+    cfg = h.config
+    minimum = (
+        cfg.tlb_walk_latency
+        + cfg.l1d_miss_detect
+        + cfg.llc_miss_detect
+        + cfg.dram_latency
+    )
+    assert access.ready_time >= minimum
+
+
+def test_llc_hit_after_l1_eviction():
+    h = make_hierarchy(l1d_size=1024, l1d_assoc=1)
+    h.access_load(0, now=0)
+    # Evict line 0 from the 16-set direct-mapped L1 (same set: +1024).
+    h.access_load(1024, now=500)
+    again = h.access_load(0, now=1000)
+    assert again.l1_miss
+    assert not again.llc_miss  # still resident in the LLC
+
+
+def test_secondary_miss_reports_llc_origin():
+    h = make_hierarchy()
+    first = h.access_load(1 << 23, now=0)
+    assert first.llc_miss
+    second = h.access_load((1 << 23) + 8, now=2)
+    assert second.l1_miss
+    assert second.llc_miss  # inherited from the in-flight fill
+
+
+def test_store_write_allocates():
+    h = make_hierarchy()
+    store = h.access_store(1 << 24, now=0)
+    assert store.l1_miss and store.llc_miss
+    # Line now present: subsequent load hits.
+    load = h.access_load(1 << 24, now=store.ready_time + 1)
+    assert not load.l1_miss
+
+
+def test_store_translate_flag():
+    h = make_hierarchy()
+    no_translate = h.access_store(1 << 25, now=0, translate=False)
+    assert not no_translate.tlb_miss
+    translated = h.access_store(1 << 26, now=0, translate=True)
+    assert translated.tlb_miss
+
+
+def test_software_prefetch_warms_cache():
+    h = make_hierarchy()
+    h.prefetch(1 << 27, now=0)
+    load = h.access_load(1 << 27, now=10_000)
+    assert not load.l1_miss
+    assert h.l1d.stats.prefetch_fills == 1
+
+
+def test_next_line_prefetcher():
+    config = MemoryConfig()  # prefetch on by default
+    h = MemoryHierarchy(config)
+    h.access_load(0, now=0)
+    # The next line was prefetched alongside the demand miss.
+    assert h.l1d.probe(64)
+    assert h.l1d.stats.prefetch_fills >= 1
+
+
+def test_inst_fetch_hit_and_miss():
+    h = make_hierarchy()
+    cold = h.access_inst(0, now=0)
+    assert cold.icache_miss
+    assert cold.itlb_miss
+    warm = h.access_inst(4, now=cold.ready_time + 10)
+    assert not warm.icache_miss
+    assert warm.ready_time == cold.ready_time + 10 + h.config.l1i_latency
+
+
+def test_dram_bandwidth_shared_between_sides():
+    h = make_hierarchy()
+    t0 = h.access_load(1 << 28, now=0).ready_time
+    t1 = h.access_load((1 << 28) + 4096 * 65, now=0).ready_time
+    assert t1 > t0  # queued behind the first line transfer
+
+
+def test_reset_restores_cold_state():
+    h = make_hierarchy()
+    h.access_load(0, now=0)
+    h.reset()
+    access = h.access_load(0, now=0)
+    assert access.l1_miss and access.llc_miss and access.tlb_miss
+    assert h.l1d.stats.accesses == 1

@@ -1,0 +1,83 @@
+"""Tests for the TLB models."""
+
+import pytest
+
+from repro.memory.tlb import L2Tlb, Tlb
+
+
+def test_l1_hit_after_fill():
+    tlb = Tlb("D", entries=4)
+    miss = tlb.lookup(0x1000)
+    assert not miss.hit
+    hit = tlb.lookup(0x1FFF)  # same page
+    assert hit.hit
+    assert hit.latency == 0
+
+
+def test_miss_without_l2_walks():
+    tlb = Tlb("D", entries=4, walk_latency=70)
+    result = tlb.lookup(0x4000)
+    assert result.latency == 70
+    assert not result.l2_hit
+    assert tlb.stats.walks == 1
+
+
+def test_l2_hit_is_cheaper_than_walk():
+    l2 = L2Tlb(entries=16)
+    tlb = Tlb("D", entries=1, l2=l2, l2_latency=8, walk_latency=70)
+    tlb.lookup(0x1000)  # walk; installs into L2
+    tlb.lookup(0x2000)  # evicts page 1 from the 1-entry L1
+    result = tlb.lookup(0x1000)  # L1 miss, L2 hit
+    assert not result.hit
+    assert result.l2_hit
+    assert result.latency == 8
+
+
+def test_l1_lru_eviction():
+    tlb = Tlb("D", entries=2)
+    tlb.lookup(0x1000)
+    tlb.lookup(0x2000)
+    tlb.lookup(0x1000)  # refresh page 1
+    tlb.lookup(0x3000)  # evicts page 2
+    assert tlb.lookup(0x1000).hit
+    assert not tlb.lookup(0x2000).hit
+
+
+def test_l2_direct_mapped_conflict():
+    l2 = L2Tlb(entries=4)
+    l2.insert(0)
+    l2.insert(4)  # same slot: evicts vpn 0
+    assert not l2.lookup(0)
+    assert l2.lookup(4)
+
+
+def test_stats_and_reset():
+    tlb = Tlb("D", entries=4)
+    tlb.lookup(0x1000)
+    tlb.lookup(0x1000)
+    assert tlb.stats.accesses == 2
+    assert tlb.stats.misses == 1
+    assert tlb.stats.miss_rate == pytest.approx(0.5)
+    tlb.reset()
+    assert tlb.stats.accesses == 0
+    assert not tlb.lookup(0x1000).hit
+
+
+def test_page_of():
+    tlb = Tlb("D", entries=4, page_bytes=4096)
+    assert tlb.page_of(0) == 0
+    assert tlb.page_of(4095) == 0
+    assert tlb.page_of(4096) == 1
+
+
+def test_l2_tlb_shared_between_i_and_d_sides():
+    """A walk on the D side installs the translation for the I side."""
+    from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+    h = MemoryHierarchy(MemoryConfig())
+    addr = 77 << 20
+    h.access_load(addr, now=0)  # D-side walk installs into the L2 TLB
+    inst = h.access_inst(addr, now=10_000)
+    # The I-TLB misses (first touch) but refills from the shared L2.
+    assert inst.itlb_miss
+    assert h.l2_tlb.hits >= 1

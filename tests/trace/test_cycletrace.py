@@ -1,0 +1,95 @@
+"""Cycle-trace plane: offline replay must re-derive golden attribution.
+
+This is the strongest cross-validation in the suite: the replay
+implements the paper's attribution policy from scratch against a neutral
+per-cycle trace, sharing no code with the core's built-in accounting.
+"""
+
+import pytest
+
+from repro.trace.cycletrace import (
+    CommitRecord,
+    CycleTrace,
+    CyclesRecord,
+    read_trace,
+    replay_golden,
+)
+from repro.uarch.core import Core, simulate
+from repro.workloads import build
+
+
+def run_with_trace(program, arch_state=None, path=None):
+    trace = CycleTrace(path)
+    core = Core(program, arch_state=arch_state, cycle_trace=trace)
+    result = core.run()
+    trace.close()
+    return result, trace
+
+
+def assert_profiles_equal(replayed, golden):
+    assert set(replayed) == set(golden)
+    for key in golden:
+        assert replayed[key] == pytest.approx(golden[key])
+
+
+def test_replay_matches_core_on_mixed(mixed_program):
+    result, trace = run_with_trace(mixed_program)
+    replayed = replay_golden(trace.records)
+    assert_profiles_equal(replayed, result.golden_raw)
+
+
+@pytest.mark.parametrize(
+    "name", ["nab", "lbm", "gcc", "xz", "omnetpp", "exchange2"]
+)
+def test_replay_matches_core_on_workloads(name):
+    """Covers flushes (FL-EX, FL-MB, FL-MO), drains, and stalls."""
+    wl = build(name, scale=0.08)
+    result, trace = run_with_trace(
+        wl.program, arch_state=wl.fresh_state()
+    )
+    replayed = replay_golden(trace.records)
+    assert_profiles_equal(replayed, result.golden_raw)
+    assert sum(replayed.values()) == pytest.approx(result.cycles)
+
+
+def test_binary_roundtrip(mixed_program, tmp_path):
+    path = tmp_path / "trace.bin"
+    result, trace = run_with_trace(mixed_program, path=path)
+    loaded = read_trace(path)
+    assert len(loaded) == len(trace.records)
+    replayed = replay_golden(loaded)
+    assert_profiles_equal(replayed, result.golden_raw)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"GARBAGE!")
+    with pytest.raises(ValueError, match="not a TEA cycle trace"):
+        read_trace(path)
+
+
+def test_truncated_trace_rejected(tmp_path, mixed_program):
+    path = tmp_path / "trace.bin"
+    run_with_trace(mixed_program, path=path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-2])
+    with pytest.raises(ValueError, match="truncated"):
+        read_trace(path)
+
+
+def test_replay_handles_synthetic_records():
+    from repro.core.states import CommitState
+
+    records = [
+        CyclesRecord(CommitState.DRAINED, 5, -1),
+        CommitRecord([(0, 10, 0), (1, 11, 3)]),
+        CyclesRecord(CommitState.STALLED, 7, 2),
+        CommitRecord([(2, 12, 4)]),
+        CyclesRecord(CommitState.FLUSHED, 3, -1),
+    ]
+    raw = replay_golden(records)
+    # Drain -> first committer (index 10), compute shares 0.5 each.
+    assert raw[(10, 0)] == pytest.approx(5.5)
+    assert raw[(11, 3)] == pytest.approx(0.5)
+    # Stall on seq 2 -> index 12 with its final PSV, + compute + flush.
+    assert raw[(12, 4)] == pytest.approx(7 + 1 + 3)

@@ -1,0 +1,178 @@
+"""Each of TEA's nine events must be produced by the pipeline and land
+in the golden profile with time-proportional attribution."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.isa.builder import ProgramBuilder
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import simulate
+
+
+def golden_cycles_with(result, event):
+    """Golden cycles in categories containing *event*."""
+    bit = 1 << event
+    return sum(
+        cycles for (_, psv), cycles in result.golden_raw.items()
+        if psv & bit
+    )
+
+
+def event_count(result, event):
+    return sum(
+        count for (_, e), count in result.event_counts.items()
+        if e == event
+    )
+
+
+def test_st_l1_and_st_llc_on_cold_load():
+    b = ProgramBuilder("t")
+    b.li("x1", 1 << 26)
+    b.load("x2", "x1", 0)
+    b.addi("x3", "x2", 1)  # consume: exposes the latency
+    b.halt()
+    result = simulate(b.build())
+    assert event_count(result, Event.ST_L1) == 1
+    assert event_count(result, Event.ST_LLC) == 1
+    # Most of the run is the exposed miss latency.
+    assert golden_cycles_with(result, Event.ST_LLC) > 80
+
+
+def test_st_l1_without_llc_when_llc_resident():
+    config = CoreConfig()
+    config.memory.l1d_size = 1024
+    config.memory.l1d_assoc = 1
+    config.memory.next_line_prefetch = False
+    b = ProgramBuilder("t")
+    b.li("x1", 1 << 20)
+    b.load("x2", "x1", 0)  # cold: fills L1 + LLC
+    # Serialise via data dependences so the loads execute in order.
+    b.add("x9", "x1", "x2")  # x2 reads 0 -> x9 == x1
+    b.load("x3", "x9", 1024)  # evicts line 0 (same L1 set)
+    b.add("x10", "x1", "x3")  # x3 reads 0 -> x10 == x1
+    b.load("x4", "x10", 0)  # L1 miss, LLC hit
+    b.halt()
+    result = simulate(b.build(), config=config)
+    # The third load (index 5) was an L1 miss that hit in the LLC.
+    counts = result.event_counts
+    assert counts.get((5, int(Event.ST_L1)), 0) == 1
+    assert counts.get((5, int(Event.ST_LLC)), 0) == 0
+
+
+def test_st_tlb_on_new_page():
+    b = ProgramBuilder("t")
+    b.li("x1", 1 << 27)
+    b.load("x2", "x1", 0)
+    b.halt()
+    result = simulate(b.build())
+    assert event_count(result, Event.ST_TLB) >= 1
+
+
+def test_dr_l1_and_dr_tlb_on_first_fetch():
+    b = ProgramBuilder("t")
+    b.li("x1", 1)
+    b.halt()
+    result = simulate(b.build())
+    # The first instruction fetched takes the cold I-cache + I-TLB miss.
+    assert result.event_counts.get((0, int(Event.DR_L1)), 0) == 1
+    assert result.event_counts.get((0, int(Event.DR_TLB)), 0) == 1
+    # Those drained cycles are attributed to the next-committing
+    # instruction (instruction 0), with the DR bits in its signature.
+    assert golden_cycles_with(result, Event.DR_L1) > 0
+
+
+def test_dr_sq_on_store_queue_pressure(tiny_config):
+    b = ProgramBuilder("t")
+    b.li("x1", 1 << 26)
+    # Far more cold-missing stores than the 4-entry SQ can absorb.
+    for n in range(24):
+        b.store("x1", "x1", n * 4096)
+    b.halt()
+    result = simulate(b.build(), config=tiny_config)
+    assert event_count(result, Event.DR_SQ) >= 1
+    assert golden_cycles_with(result, Event.DR_SQ) > 0
+
+
+def test_fl_mb_on_data_dependent_branch():
+    b = ProgramBuilder("t")
+    b.li("x1", 400)
+    b.li("x2", 12345)
+    b.li("x3", 1103515245)
+    b.li("x4", (1 << 31) - 1)
+    b.label("loop")
+    b.mul("x2", "x2", "x3")
+    b.addi("x2", "x2", 12345)
+    b.and_("x2", "x2", "x4")
+    b.andi("x5", "x2", 16)
+    b.beq("x5", "x0", "skip")
+    b.addi("x6", "x6", 1)
+    b.label("skip")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    result = simulate(b.build())
+    assert result.flushes.mispredicts > 20
+    assert event_count(result, Event.FL_MB) == result.predictor.stats.mispredicts
+    assert golden_cycles_with(result, Event.FL_MB) > 0
+
+
+def test_fl_ex_on_serializing_op():
+    b = ProgramBuilder("t")
+    b.li("x1", 20)
+    b.label("loop")
+    b.serial()
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    result = simulate(b.build())
+    assert result.flushes.serial == 20
+    assert event_count(result, Event.FL_EX) == 20
+    assert golden_cycles_with(result, Event.FL_EX) > 0
+
+
+def test_fl_mo_on_ordering_violation():
+    b = ProgramBuilder("t")
+    b.li("x1", 4096)
+    b.li("x5", 9)
+    b.li("x7", 3)
+    b.load("x8", "x1", 8)  # warm the line and TLB
+    # Slow chain producing the store address (equal to x1).
+    b.fcvt("f1", "x7")
+    b.fdiv("f2", "f1", "f1")
+    b.fdiv("f3", "f2", "f2")
+    b.fmv("x2", "f3")  # x2 = 1
+    b.addi("x2", "x2", -1)  # x2 = 0
+    b.add("x3", "x1", "x2")  # store address, ready late
+    b.store("x5", "x3", 0)
+    b.load("x6", "x1", 0)  # same address, issues early -> violation
+    b.halt()
+    result = simulate(b.build())
+    assert result.flushes.ordering >= 1
+    assert event_count(result, Event.FL_MO) >= 1
+    # The re-executed load reads the forwarded store data; architectural
+    # results must still be correct.
+    assert result.committed == len(result.program) \
+        or result.committed >= 11
+
+
+def test_combined_events_counted():
+    b = ProgramBuilder("t")
+    b.li("x1", 1 << 28)
+    b.load("x2", "x1", 0)  # L1 + LLC + TLB miss: combined signature
+    b.halt()
+    result = simulate(b.build())
+    assert result.evented_execs >= 1
+    assert result.combined_execs >= 1
+    assert 0 < result.combined_event_fraction() <= 1
+
+
+def test_stall_histogram_only_counts_event_free_stalls():
+    b = ProgramBuilder("t")
+    b.li("x1", 3)
+    b.fcvt("f1", "x1")
+    b.fsqrt("f2", "f1")  # long latency, no events
+    b.fadd("f3", "f2", "f2")
+    b.halt()
+    result = simulate(b.build())
+    assert result.stall_histogram
+    assert max(result.stall_histogram) >= 10  # the sqrt stall episode

@@ -1,0 +1,52 @@
+"""Tests for the core-size presets."""
+
+import pytest
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import simulate
+from repro.uarch.presets import PRESETS, large_boom, preset
+from repro.workloads import build
+
+
+def test_preset_names():
+    assert set(PRESETS) == {"small", "medium", "large", "mega"}
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(KeyError, match="unknown preset"):
+        preset("giga")
+
+
+def test_large_is_paper_baseline():
+    assert large_boom().rob_entries == CoreConfig().rob_entries
+    assert large_boom().commit_width == CoreConfig().commit_width
+
+
+def test_widths_and_windows_are_ordered():
+    sizes = [preset(n).rob_entries for n in ("small", "medium", "large",
+                                             "mega")]
+    assert sizes == sorted(sizes)
+    widths = [preset(n).commit_width for n in ("small", "medium",
+                                               "large", "mega")]
+    assert widths == sorted(widths)
+
+
+def test_bigger_cores_run_compute_faster():
+    workload = build("exchange2", scale=0.1)
+    cycles = {}
+    for name in ("small", "large"):
+        result = simulate(
+            workload.program,
+            config=preset(name),
+            arch_state=workload.fresh_state(),
+        )
+        cycles[name] = result.cycles
+    assert cycles["large"] < cycles["small"]
+
+
+def test_all_presets_complete_and_attribute(countdown_program):
+    for name in PRESETS:
+        result = simulate(countdown_program, config=preset(name))
+        assert sum(result.golden_raw.values()) == pytest.approx(
+            result.cycles
+        )

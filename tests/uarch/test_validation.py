@@ -1,0 +1,85 @@
+"""Tests for the invariant-validation library."""
+
+import pytest
+
+from repro.core.samplers import make_sampler
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import simulate
+from repro.uarch.presets import PRESETS, preset
+from repro.uarch.validation import (
+    ValidationError,
+    validate_config,
+    validate_result,
+)
+from repro.workloads import WORKLOAD_NAMES, build
+
+
+def test_default_config_valid():
+    validate_config(CoreConfig())
+
+
+def test_all_presets_valid():
+    for name in PRESETS:
+        validate_config(preset(name))
+
+
+def test_zero_width_rejected():
+    config = CoreConfig()
+    config.commit_width = 0
+    with pytest.raises(ValidationError, match="commit_width"):
+        validate_config(config)
+
+
+def test_commit_wider_than_rob_rejected():
+    config = CoreConfig()
+    config.rob_entries = 2
+    config.commit_width = 4
+    with pytest.raises(ValidationError, match="rob_entries"):
+        validate_config(config)
+
+
+def test_non_power_of_two_line_rejected():
+    config = CoreConfig()
+    config.memory.line_bytes = 48
+    with pytest.raises(ValidationError, match="power of two"):
+        validate_config(config)
+
+
+def test_bad_latency_rejected():
+    from repro.isa.opcodes import OpClass
+
+    config = CoreConfig()
+    config.latencies[OpClass.FP_SQRT] = 0
+    with pytest.raises(ValidationError, match="FP_SQRT"):
+        validate_config(config)
+
+
+@pytest.mark.parametrize("name", ["nab", "xz", "lbm", "omnetpp"])
+def test_results_validate(name):
+    wl = build(name, scale=0.08)
+    samplers = [make_sampler(t, 101) for t in ("TEA", "IBS", "RIS")]
+    result = simulate(
+        wl.program, samplers=samplers, arch_state=wl.fresh_state()
+    )
+    validate_result(result)
+
+
+def test_validation_detects_corruption(mixed_result):
+    import copy
+
+    broken = copy.copy(mixed_result)
+    broken.golden_raw = dict(mixed_result.golden_raw)
+    key = next(iter(broken.golden_raw))
+    broken.golden_raw[key] += 1000.0
+    with pytest.raises(ValidationError, match="golden profile"):
+        validate_result(broken)
+
+
+def test_validation_detects_bad_event_counts(mixed_result):
+    import copy
+
+    broken = copy.copy(mixed_result)
+    broken.event_counts = dict(mixed_result.event_counts)
+    broken.event_counts[(0, 3)] = 10**9
+    with pytest.raises(ValidationError, match="exceeds"):
+        validate_result(broken)

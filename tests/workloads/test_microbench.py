@@ -1,0 +1,59 @@
+"""Calibration probes: the substrate must measure as configured."""
+
+import pytest
+
+from repro.uarch.config import CoreConfig
+from repro.workloads.microbench import (
+    measure_bandwidth,
+    measure_branch_penalty,
+    measure_flush_penalty,
+    measure_load_latency,
+)
+
+
+def test_l1_latency_close_to_config():
+    probe = measure_load_latency("l1")
+    cfg = CoreConfig().memory
+    # Load-to-use on an L1 hit plus slack for warm-up laps.
+    assert cfg.l1d_latency <= probe.cycles_per_load <= cfg.l1d_latency + 4
+
+
+def test_llc_latency_between_l1_and_dram():
+    l1 = measure_load_latency("l1")
+    llc = measure_load_latency("llc")
+    dram = measure_load_latency("dram")
+    assert l1.cycles_per_load < llc.cycles_per_load < dram.cycles_per_load
+
+
+def test_dram_latency_magnitude():
+    probe = measure_load_latency("dram")
+    cfg = CoreConfig().memory
+    floor = cfg.dram_latency
+    # Chase latency = DRAM + miss detects + TLB walk effects.
+    assert floor <= probe.cycles_per_load <= floor + 150
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError, match="unknown level"):
+        measure_load_latency("l4")
+
+
+def test_bandwidth_close_to_channel_rate():
+    probe = measure_bandwidth()
+    cfg = CoreConfig().memory
+    # Streaming independent lines should approach the channel's
+    # cycles-per-line service rate (within queueing slack).
+    assert probe.cycles_per_line < cfg.dram_cycles_per_line * 2.5
+    assert probe.cycles_per_line >= cfg.dram_cycles_per_line * 0.8
+
+
+def test_branch_penalty_positive_and_bounded():
+    probe = measure_branch_penalty()
+    assert probe.events > 200
+    # Redirect penalty + front-end refill: several cycles, not dozens.
+    assert 2.0 <= probe.cycles_per_event <= 25.0
+
+
+def test_flush_penalty_positive():
+    probe = measure_flush_penalty()
+    assert probe.cycles_per_event > 3.0
