@@ -7,20 +7,14 @@ evented share of execution time.
 """
 
 from repro.experiments import tip_exp
-from repro.experiments.runner import ExperimentRunner
-
-import os
-
-SCALE = float(os.environ.get("TEA_BENCH_SCALE", "1.0"))
-PERIOD = int(os.environ.get("TEA_BENCH_PERIOD", "293"))
 
 
-def test_tip_vs_tea(benchmark, emit):
-    runner = ExperimentRunner(
-        scale=SCALE, period=PERIOD, techniques=("TEA", "TIP")
+def test_tip_vs_tea(benchmark, emit, runner):
+    tip_runner = runner.derive(
+        techniques=("TEA", "TIP"), extra_periods=()
     )
     result = benchmark.pedantic(
-        lambda: tip_exp.run(runner), rounds=1, iterations=1
+        lambda: tip_exp.run(tip_runner), rounds=1, iterations=1
     )
     emit("tip_vs_tea", tip_exp.format_result(result))
     # Q1: same attribution policy, statistically identical accuracy.

@@ -1,9 +1,13 @@
 """Shared fixtures for the benchmark harness.
 
-One :class:`ExperimentRunner` is shared across every bench so each
-benchmark program is simulated exactly once per session (the paper's
-out-of-band methodology). Scale and period can be overridden through
-the ``TEA_BENCH_SCALE`` / ``TEA_BENCH_PERIOD`` environment variables.
+One :class:`Engine` (and thus one run store and one run log) is shared
+across every bench script, so each benchmark program is simulated
+exactly once per *store lifetime*, not once per session: re-running the
+bench suite -- or a ``tea-repro all`` pointed at the same store -- gets
+cross-process cache hits instead of re-simulating identical (workload,
+period, config) runs. Scale, period, store location, and parallelism
+can be overridden through the ``TEA_BENCH_SCALE`` / ``TEA_BENCH_PERIOD``
+/ ``TEA_BENCH_STORE`` / ``TEA_BENCH_JOBS`` environment variables.
 
 Each bench prints the regenerated table/figure and also writes it to
 ``results/<name>.txt``.
@@ -16,30 +20,47 @@ from pathlib import Path
 
 import pytest
 
+from repro.engine import DEFAULT_RUN_LOG_NAME, Engine, RunLog, RunStore
 from repro.experiments.frequency import SWEEP_PERIODS
 from repro.experiments.runner import DEFAULT_PERIOD, ExperimentRunner
 
 SCALE = float(os.environ.get("TEA_BENCH_SCALE", "1.0"))
 PERIOD = int(os.environ.get("TEA_BENCH_PERIOD", str(DEFAULT_PERIOD)))
+JOBS = int(os.environ.get("TEA_BENCH_JOBS", "1"))
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+STORE_DIR = Path(
+    os.environ.get("TEA_BENCH_STORE", RESULTS_DIR / ".tea-store")
+)
 
 
 @pytest.fixture(scope="session")
-def runner():
-    """The shared experiment runner (includes the Fig 8 sweep periods
-    so one simulation serves every experiment)."""
-    return ExperimentRunner(
-        scale=SCALE, period=PERIOD, extra_periods=SWEEP_PERIODS
+def engine():
+    """The engine every bench shares: one store, one run log."""
+    store = RunStore(STORE_DIR)
+    return Engine(
+        store=store,
+        run_log=RunLog(store.root / DEFAULT_RUN_LOG_NAME),
+        jobs=JOBS,
     )
 
 
 @pytest.fixture(scope="session")
-def dispatch_runner():
-    """Runner for the dispatch-TEA ablation (different technique set)."""
+def runner(engine):
+    """The shared experiment runner (includes the Fig 8 sweep periods
+    so one simulation serves every experiment)."""
     return ExperimentRunner(
-        scale=SCALE, period=PERIOD,
-        techniques=("TEA", "TEA-dispatch", "IBS"),
+        scale=SCALE, period=PERIOD, extra_periods=SWEEP_PERIODS,
+        engine=engine,
+    )
+
+
+@pytest.fixture(scope="session")
+def dispatch_runner(runner):
+    """Runner for the dispatch-TEA ablation (different technique set,
+    same engine/store)."""
+    return runner.derive(
+        techniques=("TEA", "TEA-dispatch", "IBS"), extra_periods=()
     )
 
 

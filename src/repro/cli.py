@@ -14,6 +14,13 @@ Use the library as a profiler/tool::
     tea-repro profile nab --granularity function
     tea-repro diff lbm lbm:prefetch_distance=3
     tea-repro figures --out results/figures
+
+Engine controls (any experiment command)::
+
+    tea-repro --jobs 4 all              # parallel suite execution
+    tea-repro --store PATH fig5         # explicit run-store location
+    tea-repro --no-store fig5           # disable the on-disk store
+    tea-repro stats                     # summarise the run log / store
 """
 
 from __future__ import annotations
@@ -26,6 +33,14 @@ from repro.core.diff import diff_profiles, render_diff
 from repro.core.pics import Granularity
 from repro.core.samplers import make_sampler
 from repro.core.report import render_top
+from repro.engine import (
+    DEFAULT_RUN_LOG_NAME,
+    Engine,
+    RunLog,
+    RunStore,
+    SuiteExecutionError,
+    summarize_run_log,
+)
 from repro.experiments import ExperimentRunner
 from repro.experiments import (
     ablation,
@@ -58,10 +73,8 @@ def _fig7(runner):
 
 
 def _fig8(runner):
-    sweep_runner = ExperimentRunner(
-        scale=runner.scale,
-        period=runner.period,
-        extra_periods=frequency.SWEEP_PERIODS,
+    sweep_runner = runner.derive(
+        extra_periods=frequency.SWEEP_PERIODS
     )
     return frequency.format_result(frequency.run(sweep_runner))
 
@@ -106,10 +119,8 @@ def _overheads(runner):
 
 
 def _ablation_dispatch(runner):
-    dispatch_runner = ExperimentRunner(
-        scale=runner.scale,
-        period=runner.period,
-        techniques=("TEA", "TEA-dispatch", "IBS"),
+    dispatch_runner = runner.derive(
+        techniques=("TEA", "TEA-dispatch", "IBS")
     )
     return ablation.format_dispatch_tea(
         ablation.run_dispatch_tea(dispatch_runner)
@@ -136,6 +147,91 @@ EXPERIMENTS = {
     "ablation-dispatch": _ablation_dispatch,
     "ablation-events": _ablation_events,
 }
+
+#: Which benchmark-suite flavours each command needs simulated. Used to
+#: prewarm the engine in one parallel fan-out before the (serial)
+#: experiment code runs and hits the memo.
+_PREWARM = {
+    "fig5": ("default",),
+    "fig6": ("default",),
+    "fig7": ("default",),
+    "fig8": ("sweep",),
+    "fig9": ("default",),
+    "fig10": ("default",),
+    "fig11": ("default",),
+    "fig12": ("default",),
+    "overheads": ("default",),
+    "ablation-dispatch": ("dispatch",),
+    "ablation-events": ("default",),
+    "figures": ("default", "sweep", "dispatch"),
+    "report": ("default", "sweep", "dispatch", "tip"),
+}
+
+
+# ----------------------------------------------------------------------
+# Engine wiring.
+# ----------------------------------------------------------------------
+def make_engine(args) -> Engine:
+    """Build the shared engine from the global CLI flags."""
+    store = None if args.no_store else RunStore(args.store)
+    run_log = None
+    if not args.no_run_log:
+        path = args.run_log
+        if path is None and store is not None:
+            path = store.root / DEFAULT_RUN_LOG_NAME
+        if path is not None:
+            run_log = RunLog(path)
+    return Engine(store=store, run_log=run_log, jobs=args.jobs)
+
+
+def _suite_runner(runner, kind: str):
+    """The runner variant (sharing the engine) for one suite flavour."""
+    if kind == "sweep":
+        return runner.derive(extra_periods=frequency.SWEEP_PERIODS)
+    if kind == "dispatch":
+        return runner.derive(techniques=("TEA", "TEA-dispatch", "IBS"))
+    if kind == "tip":
+        return runner.derive(techniques=("TEA", "TIP"))
+    return runner
+
+
+def prewarm(runner, commands) -> None:
+    """Fan every suite the commands need out across the worker pool.
+
+    The experiment modules themselves iterate benchmarks serially; with
+    ``--jobs N`` the engine simulates all missing runs here first so
+    those loops become pure memo hits.
+    """
+    kinds: list[str] = []
+    for command in commands:
+        kinds.extend(_PREWARM.get(command, ()))
+    specs = {}
+    for kind in dict.fromkeys(kinds):
+        suite = _suite_runner(runner, kind)
+        for name in WORKLOAD_NAMES:
+            specs[f"{kind}:{name}"] = suite.spec(name)
+    if specs:
+        runner.engine.run_suite(specs)
+
+
+def cmd_stats(args) -> int:
+    """``tea-repro stats``: summarise the run store and telemetry log."""
+    store = None if args.no_store else RunStore(args.store)
+    if store is not None:
+        entries = len(store)
+        print(
+            f"store: {store.root} -- {entries} cached run(s), "
+            f"{store.size_bytes() / 1e6:.2f} MB"
+        )
+    log_path = args.run_log
+    if log_path is None and store is not None:
+        log_path = store.root / DEFAULT_RUN_LOG_NAME
+    if log_path is None:
+        print("run log: none (store disabled and no --run-log given)")
+        return 0
+    print(f"run log: {log_path}")
+    print(summarize_run_log(log_path))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -286,7 +382,16 @@ def cmd_figures(args) -> int:
     """``tea-repro figures``: render every paper figure as SVG."""
     from repro.viz.figures import render_all
 
-    runner = ExperimentRunner(scale=args.scale, period=args.period)
+    engine = make_engine(args)
+    runner = ExperimentRunner(
+        scale=args.scale, period=args.period, engine=engine
+    )
+    if engine.jobs > 1:
+        try:
+            prewarm(runner, ["figures"])
+        except SuiteExecutionError as exc:
+            print(exc.report(), file=sys.stderr)
+            return 1
     written = render_all(runner, args.out)
     for path in written:
         print(f"wrote {path}")
@@ -307,6 +412,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--period", type=int, default=293,
         help="sampling period in cycles (default 293)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for suite simulation (default 1)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="run-store directory (default: $TEA_REPRO_STORE or "
+        "~/.cache/tea-repro)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the on-disk run store",
+    )
+    parser.add_argument(
+        "--run-log", default=None, metavar="PATH",
+        help="JSONL run-telemetry log (default: <store>/runs.jsonl)",
+    )
+    parser.add_argument(
+        "--no-run-log", action="store_true",
+        help="disable run telemetry",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -370,6 +496,10 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="results/REPORT.md", help="output file"
     )
 
+    sub.add_parser(
+        "stats", help="summarise the run store and telemetry log"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "profile":
@@ -378,21 +508,35 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_advise(args)
     if args.command == "diff":
         return cmd_diff(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     if args.command == "figures":
         return cmd_figures(args)
-    if args.command == "report":
-        from repro.experiments.report_all import write_report
 
-        runner = ExperimentRunner(scale=args.scale, period=args.period)
-        path = write_report(runner, args.out)
-        print(f"wrote {path}")
-        return 0
-
-    runner = ExperimentRunner(scale=args.scale, period=args.period)
+    engine = make_engine(args)
+    runner = ExperimentRunner(
+        scale=args.scale, period=args.period, engine=engine
+    )
     names = (
         sorted(EXPERIMENTS) if args.command == "all"
         else [args.command]
     )
+    try:
+        if args.command == "report":
+            from repro.experiments.report_all import write_report
+
+            if engine.jobs > 1:
+                prewarm(runner, ["report"])
+            path = write_report(runner, args.out)
+            print(f"wrote {path}")
+            return 0
+
+        if engine.jobs > 1:
+            prewarm(runner, names)
+    except SuiteExecutionError as exc:
+        print(exc.report(), file=sys.stderr)
+        return 1
+
     for name in names:
         start = time.time()
         print(EXPERIMENTS[name](runner))

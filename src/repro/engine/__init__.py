@@ -1,0 +1,78 @@
+"""The simulation engine layer.
+
+Separates *simulation* from *analysis* (the paper's own TraceDoctor
+out-of-band methodology) as a real architectural layer:
+
+* :mod:`repro.engine.spec` -- canonical, content-hashed
+  :class:`RunSpec` descriptions of a run;
+* :mod:`repro.engine.store` -- the versioned on-disk
+  :class:`RunStore` of completed runs;
+* :mod:`repro.engine.executor` -- parallel :class:`SuiteExecutor`
+  fan-out with retry and per-workload failure reporting;
+* :mod:`repro.engine.telemetry` -- :class:`RunMetrics` records and the
+  JSONL :class:`RunLog`;
+* :mod:`repro.engine.engine` -- the :class:`Engine` orchestrator
+  (memo -> store -> simulate).
+
+:class:`repro.experiments.ExperimentRunner` is a thin façade over this
+package.
+"""
+
+from repro.engine.engine import Engine
+from repro.engine.executor import (
+    SuiteExecutionError,
+    SuiteExecutor,
+    simulate_to_payload,
+)
+from repro.engine.runs import (
+    PAYLOAD_SCHEMA,
+    BenchmarkRun,
+    LoadedSampler,
+    build_workload,
+    run_from_payload,
+    run_to_payload,
+    simulate_spec,
+)
+from repro.engine.spec import (
+    DEFAULT_PERIOD,
+    DEFAULT_SCALE,
+    MODEL_VERSION,
+    TECHNIQUES,
+    RunSpec,
+    canonical,
+)
+from repro.engine.store import RunStore, default_store_root
+from repro.engine.telemetry import (
+    DEFAULT_RUN_LOG_NAME,
+    RunLog,
+    RunMetrics,
+    read_run_log,
+    summarize_run_log,
+)
+
+__all__ = [
+    "BenchmarkRun",
+    "DEFAULT_PERIOD",
+    "DEFAULT_RUN_LOG_NAME",
+    "DEFAULT_SCALE",
+    "Engine",
+    "LoadedSampler",
+    "MODEL_VERSION",
+    "PAYLOAD_SCHEMA",
+    "RunLog",
+    "RunMetrics",
+    "RunSpec",
+    "RunStore",
+    "SuiteExecutionError",
+    "SuiteExecutor",
+    "TECHNIQUES",
+    "build_workload",
+    "canonical",
+    "default_store_root",
+    "read_run_log",
+    "run_from_payload",
+    "run_to_payload",
+    "simulate_spec",
+    "simulate_to_payload",
+    "summarize_run_log",
+]

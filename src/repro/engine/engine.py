@@ -1,0 +1,203 @@
+"""The simulation engine: memo -> store -> simulate orchestration.
+
+:class:`Engine` is the single entry point every experiment, CLI
+command, and benchmark script funnels through. For each
+:class:`~repro.engine.spec.RunSpec` it serves, in order of cheapness:
+
+1. the in-process memo (same object back, as experiments rely on),
+2. the on-disk :class:`~repro.engine.store.RunStore` (cross-process
+   cache hits, reconstructed bit-identically from the stored payload),
+3. a fresh simulation -- in-process, or fanned out over a
+   :class:`~repro.engine.executor.SuiteExecutor` worker pool for suite
+   runs with ``jobs > 1``.
+
+Every run is recorded to the attached
+:class:`~repro.engine.telemetry.RunLog` with its source, so "how much
+did the cache save" is always answerable after the fact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.engine.executor import SuiteExecutor
+from repro.engine.runs import (
+    BenchmarkRun,
+    build_workload,
+    run_from_payload,
+    run_to_payload,
+    simulate_spec,
+)
+from repro.engine.spec import RunSpec
+from repro.engine.store import RunStore
+from repro.engine.telemetry import RunLog, RunMetrics
+
+
+class Engine:
+    """Spec-keyed simulation engine with store, memo, and telemetry.
+
+    Args:
+        store: On-disk run store (``None`` disables persistence).
+        run_log: JSONL telemetry sink (``None`` disables logging).
+        jobs: Default worker count for :meth:`run_suite`.
+        retries: Per-run retry attempts for suite execution.
+
+    Attributes:
+        simulations: Number of fresh simulations this engine performed
+            (both in-process and via workers).
+    """
+
+    def __init__(
+        self,
+        store: RunStore | None = None,
+        run_log: RunLog | None = None,
+        jobs: int = 1,
+        retries: int = 1,
+    ) -> None:
+        self.store = store
+        self.run_log = run_log
+        self.jobs = max(1, int(jobs))
+        self.retries = retries
+        self.simulations = 0
+        self._memo: dict[str, BenchmarkRun] = {}
+
+    # ------------------------------------------------------------------
+    # Single runs.
+    # ------------------------------------------------------------------
+    def cached(self, spec: RunSpec) -> BenchmarkRun | None:
+        """The memoised run for *spec*, if any (no store probe)."""
+        return self._memo.get(spec.key)
+
+    def run(self, spec: RunSpec) -> BenchmarkRun:
+        """Serve one spec: memo, then store, then simulate."""
+        run = self._memo.get(spec.key)
+        if run is not None:
+            self._record(spec, run, "memo", 0.0)
+            return run
+        start = time.perf_counter()
+        workload = build_workload(spec)
+        payload = (
+            self.store.load(spec) if self.store is not None else None
+        )
+        if payload is not None:
+            run = run_from_payload(payload, workload)
+            source = "store"
+        else:
+            run = simulate_spec(spec, workload)
+            self.simulations += 1
+            source = "simulated"
+            if self.store is not None:
+                self.store.save(spec, run_to_payload(spec, run))
+        self._memo[spec.key] = run
+        self._record(spec, run, source, time.perf_counter() - start)
+        return run
+
+    # ------------------------------------------------------------------
+    # Suite runs.
+    # ------------------------------------------------------------------
+    def run_suite(
+        self,
+        specs: Mapping[str, RunSpec],
+        jobs: int | None = None,
+    ) -> dict[str, BenchmarkRun]:
+        """Serve a labelled suite of specs, fanning misses out.
+
+        Memo and store hits are served inline; the remaining specs are
+        executed via a :class:`SuiteExecutor` when more than one worker
+        is requested, otherwise serially in-process. The result maps
+        every label in *specs* (in input order) to its run.
+
+        Raises:
+            SuiteExecutionError: If any run fails after retries; the
+                error names each failing label.
+        """
+        jobs = self.jobs if jobs is None else max(1, int(jobs))
+        runs: dict[str, BenchmarkRun] = {}
+        pending: dict[str, RunSpec] = {}
+        for label, spec in specs.items():
+            run = self._memo.get(spec.key)
+            if run is not None:
+                self._record(spec, run, "memo", 0.0)
+                runs[label] = run
+            elif jobs <= 1:
+                runs[label] = self.run(spec)
+            else:
+                pending[label] = spec
+
+        if pending:
+            # Probe the store before paying for workers.
+            missing: dict[str, RunSpec] = {}
+            seen_keys: dict[str, str] = {}
+            for label, spec in pending.items():
+                if spec.key in seen_keys or spec.key in self._memo:
+                    continue  # duplicate spec; resolved below
+                start = time.perf_counter()
+                payload = (
+                    self.store.load(spec)
+                    if self.store is not None
+                    else None
+                )
+                if payload is not None:
+                    run = run_from_payload(payload, build_workload(spec))
+                    self._memo[spec.key] = run
+                    self._record(
+                        spec, run, "store", time.perf_counter() - start
+                    )
+                else:
+                    missing[label] = spec
+                    seen_keys[spec.key] = label
+
+            if missing:
+                executor = SuiteExecutor(jobs=jobs, retries=self.retries)
+                payloads = executor.map(list(missing.items()))
+                for label, payload in payloads.items():
+                    spec = missing[label]
+                    run = run_from_payload(payload, build_workload(spec))
+                    self.simulations += 1
+                    if self.store is not None:
+                        self.store.save(spec, payload)
+                    self._memo[spec.key] = run
+                    self._record(
+                        spec,
+                        run,
+                        "simulated",
+                        float(payload.get("wall_s") or 0.0),
+                        jobs=jobs,
+                    )
+
+            for label, spec in pending.items():
+                run = self._memo.get(spec.key)
+                if run is not None:
+                    runs[label] = run
+
+        return {label: runs[label] for label in specs}
+
+    # ------------------------------------------------------------------
+    # Telemetry.
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        spec: RunSpec,
+        run: BenchmarkRun,
+        source: str,
+        wall_s: float,
+        jobs: int = 1,
+    ) -> None:
+        if self.run_log is None:
+            return
+        self.run_log.record(
+            RunMetrics(
+                workload=spec.workload,
+                spec_key=spec.key,
+                source=source,
+                wall_s=wall_s,
+                cycles=run.result.cycles,
+                committed=run.result.committed,
+                samples={
+                    key: sampler.samples_taken
+                    for key, sampler in run.samplers.items()
+                },
+                jobs=jobs,
+            )
+        )

@@ -1,0 +1,156 @@
+"""Parallel suite execution over run specs.
+
+:class:`SuiteExecutor` fans a list of ``(label, RunSpec)`` pairs out
+across a :class:`~concurrent.futures.ProcessPoolExecutor` (serial
+in-process fallback for ``jobs=1``), returning one stored-run payload
+per label. Workers re-raise nothing mid-suite: each failed run is
+retried once (transient failures -- OOM kills, interrupted workers --
+are the common case on loaded machines), and only after the whole
+suite has been attempted does the executor raise a
+:class:`SuiteExecutionError` naming every failing workload with its
+traceback.
+
+Payloads -- not live objects -- cross the process boundary, so a
+parallel suite reconstructs runs through exactly the same
+serialisation path as a store hit and stays bit-identical to a serial
+run.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+from repro.engine.runs import run_to_payload, simulate_spec
+from repro.engine.spec import RunSpec
+
+
+class SuiteExecutionError(RuntimeError):
+    """One or more suite runs failed after retries.
+
+    Attributes:
+        failures: label -> formatted traceback of the final attempt.
+    """
+
+    def __init__(self, failures: dict[str, str]) -> None:
+        self.failures = dict(failures)
+        summary = ", ".join(
+            f"{label} ({_last_line(tb)})"
+            for label, tb in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(self.failures)} suite run(s) failed: {summary}"
+        )
+
+    def report(self) -> str:
+        """Full per-workload failure report (tracebacks included)."""
+        sections = [
+            f"--- {label} ---\n{tb.rstrip()}"
+            for label, tb in sorted(self.failures.items())
+        ]
+        return "\n".join([str(self)] + sections)
+
+
+def _last_line(tb: str) -> str:
+    lines = [line for line in tb.strip().splitlines() if line.strip()]
+    return lines[-1].strip() if lines else "unknown error"
+
+
+def simulate_to_payload(
+    item: tuple[str, RunSpec],
+) -> tuple[str, dict[str, Any]]:
+    """Worker entry point: simulate one spec, return its payload."""
+    label, spec = item
+    start = time.perf_counter()
+    run = simulate_spec(spec)
+    return label, run_to_payload(
+        spec, run, wall_s=time.perf_counter() - start
+    )
+
+
+class SuiteExecutor:
+    """Fan specs out over worker processes with retry-once semantics.
+
+    Args:
+        jobs: Maximum concurrent workers (1 = serial, in-process).
+        retries: Re-attempts per failing run (default 1).
+        fn: Worker callable ``(label, spec) -> (label, payload)``;
+            overridable for tests. Must be picklable when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retries: int = 1,
+        fn: Callable[
+            [tuple[str, RunSpec]], tuple[str, dict[str, Any]]
+        ] = simulate_to_payload,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.retries = max(0, int(retries))
+        self.fn = fn
+
+    def map(
+        self, items: Sequence[tuple[str, RunSpec]]
+    ) -> dict[str, dict[str, Any]]:
+        """Execute every item; payloads by label.
+
+        Raises:
+            SuiteExecutionError: If any item still fails after retries
+                (every other item's result is completed first).
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return self._map_serial(items)
+        return self._map_parallel(items)
+
+    def _map_serial(
+        self, items: list[tuple[str, RunSpec]]
+    ) -> dict[str, dict[str, Any]]:
+        results: dict[str, dict[str, Any]] = {}
+        failures: dict[str, str] = {}
+        for item in items:
+            label = item[0]
+            for attempt in range(self.retries + 1):
+                try:
+                    _, payload = self.fn(item)
+                    results[label] = payload
+                    break
+                except Exception:
+                    if attempt == self.retries:
+                        failures[label] = traceback.format_exc()
+        if failures:
+            raise SuiteExecutionError(failures)
+        return results
+
+    def _map_parallel(
+        self, items: list[tuple[str, RunSpec]]
+    ) -> dict[str, dict[str, Any]]:
+        results: dict[str, dict[str, Any]] = {}
+        failures: dict[str, str] = {}
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {
+                pool.submit(self.fn, item): (item, 0) for item in items
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    item, attempt = pending.pop(future)
+                    label = item[0]
+                    try:
+                        _, payload = future.result()
+                        results[label] = payload
+                    except Exception:
+                        if attempt < self.retries:
+                            pending[pool.submit(self.fn, item)] = (
+                                item,
+                                attempt + 1,
+                            )
+                        else:
+                            failures[label] = traceback.format_exc()
+        if failures:
+            raise SuiteExecutionError(failures)
+        return results

@@ -1,0 +1,175 @@
+"""Run telemetry: structured per-run metrics and the JSONL run log.
+
+Every engine run -- simulated, loaded from the store, or served from
+the in-process memo -- produces one :class:`RunMetrics` record. With a
+:class:`RunLog` attached the engine appends each record as one JSON
+line, giving a durable, greppable account of what actually simulated
+versus what was a cache hit (``tea-repro stats`` summarises it, and the
+acceptance check "a warm store performs zero new simulations" reads
+exactly these counters).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Default run-log filename (under the store root).
+DEFAULT_RUN_LOG_NAME = "runs.jsonl"
+
+#: Metric sources, in increasing cheapness.
+SOURCES = ("simulated", "store", "memo")
+
+
+@dataclass
+class RunMetrics:
+    """Telemetry for one engine run.
+
+    Attributes:
+        workload: Workload name.
+        spec_key: Canonical spec content hash.
+        source: ``"simulated"`` (a new simulation ran), ``"store"``
+            (cross-process store hit), or ``"memo"`` (in-process hit).
+        wall_s: Wall-clock seconds this run cost the caller.
+        cycles: Simulated core cycles of the run.
+        committed: Committed instructions of the run.
+        samples: Samples taken per attached sampler key.
+        jobs: Worker count the run executed under (1 = in-process).
+        timestamp: Unix time the record was created.
+    """
+
+    workload: str
+    spec_key: str
+    source: str
+    wall_s: float
+    cycles: int
+    committed: int
+    samples: dict[str, int] = field(default_factory=dict)
+    jobs: int = 1
+    timestamp: float = field(default_factory=time.time)
+
+    @property
+    def cycles_per_sec(self) -> float:
+        """Simulated cycles per wall second (0 for instant cache hits)."""
+        if self.wall_s <= 0:
+            return 0.0
+        return self.cycles / self.wall_s
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready dict (one run-log line)."""
+        return {
+            "workload": self.workload,
+            "spec_key": self.spec_key,
+            "source": self.source,
+            "wall_s": round(self.wall_s, 6),
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "cycles_per_sec": round(self.cycles_per_sec, 1),
+            "samples": self.samples,
+            "jobs": self.jobs,
+            "timestamp": self.timestamp,
+        }
+
+
+class RunLog:
+    """Append-only JSONL sink for :class:`RunMetrics` records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, metrics: RunMetrics) -> None:
+        """Append one metrics record as a JSON line."""
+        line = json.dumps(metrics.to_json(), sort_keys=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+
+
+def read_run_log(path: str | Path) -> list[dict[str, Any]]:
+    """All records of a JSONL run log (skips malformed lines)."""
+    records: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue
+    return records
+
+
+def summarize_records(records: Iterable[dict[str, Any]]) -> str:
+    """Render a run-log summary (totals plus a per-workload table)."""
+    from repro.experiments.runner import format_table
+
+    records = list(records)
+    if not records:
+        return "run log: empty (no engine runs recorded yet)"
+
+    by_source = {source: 0 for source in SOURCES}
+    wall_by_source = {source: 0.0 for source in SOURCES}
+    sim_cycles = 0
+    per_workload: dict[str, dict[str, float]] = {}
+    for rec in records:
+        source = rec.get("source", "simulated")
+        if source not in by_source:
+            by_source[source] = 0
+            wall_by_source[source] = 0.0
+        by_source[source] += 1
+        wall_by_source[source] += float(rec.get("wall_s", 0.0))
+        row = per_workload.setdefault(
+            rec.get("workload", "?"),
+            {s: 0 for s in SOURCES} | {"wall_s": 0.0, "cycles": 0},
+        )
+        row[source] = row.get(source, 0) + 1
+        row["wall_s"] += float(rec.get("wall_s", 0.0))
+        if source == "simulated":
+            sim_cycles += int(rec.get("cycles", 0))
+            row["cycles"] += int(rec.get("cycles", 0))
+
+    sim_wall = wall_by_source["simulated"]
+    rate = sim_cycles / sim_wall if sim_wall > 0 else 0.0
+    total = len(records)
+    hits = by_source["store"] + by_source["memo"]
+    lines = [
+        f"run log: {total} run(s) -- "
+        f"{by_source['simulated']} simulated, "
+        f"{by_source['store']} store hit(s), "
+        f"{by_source['memo']} memo hit(s) "
+        f"({hits / total:.0%} cached)",
+        f"simulated: {sim_cycles:,} cycles in {sim_wall:.2f}s wall "
+        f"({rate:,.0f} cycles/s)",
+        "",
+    ]
+    rows = [
+        [
+            name,
+            str(int(row["simulated"])),
+            str(int(row["store"])),
+            str(int(row["memo"])),
+            f"{row['wall_s']:.2f}s",
+            f"{int(row['cycles']):,}",
+        ]
+        for name, row in sorted(per_workload.items())
+    ]
+    lines.append(
+        format_table(
+            ["workload", "simulated", "store", "memo", "wall",
+             "sim cycles"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
+def summarize_run_log(path: str | Path) -> str:
+    """Read and summarise a JSONL run log."""
+    return summarize_records(read_run_log(path))

@@ -1,69 +1,47 @@
-"""Shared experiment runner with per-benchmark result caching.
+"""Shared experiment runner: a thin façade over :mod:`repro.engine`.
 
 The paper evaluates all sampling techniques out-of-band from a single
-simulation so every technique observes the exact same cycles; the runner
-reproduces that: one :class:`repro.uarch.Core` run per benchmark with all
-samplers (and any frequency-sweep variants) attached, memoised per
-(workload name, scale, period set, config) for reuse across experiments
-in one process.
+simulation so every technique observes the exact same cycles; the
+engine layer reproduces that (one :class:`repro.uarch.Core` run per
+benchmark with all samplers attached) and adds spec-keyed memoisation,
+an optional cross-process result store, parallel suite execution, and
+run telemetry. This module keeps the historical
+:class:`ExperimentRunner` interface every experiment module uses, and
+re-exports the engine's constants and :class:`BenchmarkRun` for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.error import pics_error
-from repro.core.events import EVENT_SETS, event_mask
-from repro.core.pics import PicsProfile
-from repro.core.samplers import Sampler, make_sampler
+from repro.engine import (
+    DEFAULT_PERIOD,
+    DEFAULT_SCALE,
+    TECHNIQUES,
+    BenchmarkRun,
+    Engine,
+    RunLog,
+    RunSpec,
+    RunStore,
+)
 from repro.uarch.config import CoreConfig
-from repro.uarch.core import CoreResult, simulate
-from repro.workloads import WORKLOAD_NAMES, Workload, build
+from repro.workloads import WORKLOAD_NAMES
 
-#: The five techniques of the headline comparison (Fig 5), paper order.
-TECHNIQUES = ("IBS", "SPE", "RIS", "NCI-TEA", "TEA")
-
-#: Default sampling period. The paper samples every 800,000 cycles
-#: (4 kHz at 3.2 GHz) on runs of >= 10^11 cycles; our kernels run ~10^5
-#: cycles, so the period is scaled by ~10^3 to keep the number of samples
-#: statistically comparable.
-DEFAULT_PERIOD = 293
-
-#: Default workload scale for experiments.
-DEFAULT_SCALE = 1.0
-
-
-@dataclass
-class BenchmarkRun:
-    """One benchmark simulated with a set of samplers attached."""
-
-    workload: Workload
-    result: CoreResult
-    samplers: dict[str, Sampler] = field(default_factory=dict)
-
-    @property
-    def golden(self) -> PicsProfile:
-        """Golden-reference profile of this run."""
-        return self.result.golden_profile()
-
-    def profile(self, technique: str) -> PicsProfile:
-        """A technique's sampled profile.
-
-        Raises:
-            KeyError: If the technique was not attached to this run.
-        """
-        return self.samplers[technique].profile()
-
-    def error(self, technique: str) -> float:
-        """Instruction-granularity PICS error of a technique (Sec. 4)."""
-        sampler = self.samplers[technique]
-        return pics_error(
-            sampler.profile(), self.golden, event_mask(sampler.events)
-        )
+__all__ = [
+    "BenchmarkRun",
+    "DEFAULT_PERIOD",
+    "DEFAULT_SCALE",
+    "TECHNIQUES",
+    "ExperimentRunner",
+    "format_table",
+]
 
 
 class ExperimentRunner:
     """Simulates benchmarks once and serves all experiments from cache.
+
+    A façade over :class:`repro.engine.Engine`: builds canonical
+    :class:`RunSpec` keys from its configuration and delegates running,
+    caching, persistence, and telemetry to the engine.
 
     Args:
         scale: Workload scale factor.
@@ -73,6 +51,13 @@ class ExperimentRunner:
         extra_periods: Additional periods to attach per technique (used
             by the Fig 8 frequency sweep); sampler keys become
             ``f"{technique}@{period}"``.
+        store: Optional :class:`RunStore` for cross-process result
+            persistence (``None`` keeps runs in-process only).
+        jobs: Default worker count for :meth:`run_suite`.
+        run_log: Optional :class:`RunLog` telemetry sink.
+        engine: Share an existing engine (its memo, store, and
+            telemetry) instead of building one; ``store``/``jobs``/
+            ``run_log`` are ignored when given.
     """
 
     def __init__(
@@ -82,51 +67,87 @@ class ExperimentRunner:
         config: CoreConfig | None = None,
         techniques: tuple[str, ...] = TECHNIQUES,
         extra_periods: tuple[int, ...] = (),
+        *,
+        store: RunStore | None = None,
+        jobs: int = 1,
+        run_log: RunLog | None = None,
+        engine: Engine | None = None,
     ) -> None:
         self.scale = scale
         self.period = period
         self.config = config
-        self.techniques = techniques
+        self.techniques = tuple(techniques)
         self.extra_periods = tuple(extra_periods)
-        self._cache: dict[str, BenchmarkRun] = {}
+        if engine is None:
+            engine = Engine(store=store, run_log=run_log, jobs=jobs)
+        self.engine = engine
+
+    @property
+    def store(self) -> RunStore | None:
+        """The engine's run store (if any)."""
+        return self.engine.store
+
+    @property
+    def jobs(self) -> int:
+        """The engine's default suite worker count."""
+        return self.engine.jobs
+
+    def spec(self, name: str, **workload_kwargs) -> RunSpec:
+        """The canonical :class:`RunSpec` for one benchmark run."""
+        return RunSpec.make(
+            name,
+            workload_kwargs,
+            scale=self.scale,
+            period=self.period,
+            config=self.config,
+            techniques=self.techniques,
+            extra_periods=self.extra_periods,
+        )
 
     def run(self, name: str, **workload_kwargs) -> BenchmarkRun:
         """Simulate one benchmark (memoised) with all samplers attached."""
-        key = name
-        if workload_kwargs:
-            key = name + repr(sorted(workload_kwargs.items()))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        workload = build(name, scale=self.scale, **workload_kwargs)
-        samplers: dict[str, Sampler] = {}
-        for seed_offset, technique in enumerate(self.techniques):
-            samplers[technique] = make_sampler(
-                technique, self.period, seed=12345 + seed_offset
-            )
-            for extra in self.extra_periods:
-                samplers[f"{technique}@{extra}"] = make_sampler(
-                    technique, extra, seed=54321 + seed_offset
-                )
-        result = simulate(
-            workload.program,
-            config=self.config,
-            samplers=list(samplers.values()),
-            arch_state=workload.fresh_state(),
-        )
-        run = BenchmarkRun(workload=workload, result=result,
-                           samplers=samplers)
-        self._cache[key] = run
-        return run
+        return self.engine.run(self.spec(name, **workload_kwargs))
 
     def run_suite(
-        self, names: tuple[str, ...] | None = None
+        self,
+        names: tuple[str, ...] | None = None,
+        jobs: int | None = None,
     ) -> dict[str, BenchmarkRun]:
-        """Simulate the whole suite (memoised)."""
-        return {
-            name: self.run(name) for name in (names or WORKLOAD_NAMES)
-        }
+        """Simulate the whole suite (memoised; parallel when jobs > 1)."""
+        names = tuple(names or WORKLOAD_NAMES)
+        return self.engine.run_suite(
+            {name: self.spec(name) for name in names}, jobs=jobs
+        )
+
+    def derive(
+        self,
+        *,
+        scale: float | None = None,
+        period: int | None = None,
+        config: CoreConfig | None = None,
+        techniques: tuple[str, ...] | None = None,
+        extra_periods: tuple[int, ...] | None = None,
+    ) -> "ExperimentRunner":
+        """A runner variant sharing this runner's engine.
+
+        Used by the sweep/ablation experiments so their differently
+        configured runs still land in the same memo, store, and run
+        log.
+        """
+        return ExperimentRunner(
+            scale=self.scale if scale is None else scale,
+            period=self.period if period is None else period,
+            config=self.config if config is None else config,
+            techniques=(
+                self.techniques if techniques is None else techniques
+            ),
+            extra_periods=(
+                self.extra_periods
+                if extra_periods is None
+                else extra_periods
+            ),
+            engine=self.engine,
+        )
 
 
 def format_table(

@@ -53,7 +53,14 @@ class CommitRecord:
 
 class CycleTrace:
     """Collects cycle/commit records from a core (and optionally streams
-    them to a binary file)."""
+    them to a binary file).
+
+    Usable as a context manager, which guarantees the backing file is
+    closed (and its buffers flushed) even when the simulation raises::
+
+        with CycleTrace("run.cyc") as trace:
+            simulate(program, cycle_trace=trace)
+    """
 
     def __init__(self, path: str | Path | None = None) -> None:
         self.records: list[CyclesRecord | CommitRecord] = []
@@ -61,6 +68,13 @@ class CycleTrace:
         if path is not None:
             self._file = open(path, "wb")
             self._file.write(_MAGIC)
+
+    def __enter__(self) -> "CycleTrace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # Hooks called by the core -----------------------------------------
     def on_cycles(

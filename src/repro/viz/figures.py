@@ -255,7 +255,6 @@ def render_all(runner, out_dir: str | Path) -> list[Path]:
         granularity,
         per_instruction,
     )
-    from repro.experiments.runner import ExperimentRunner
 
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -273,10 +272,8 @@ def render_all(runner, out_dir: str | Path) -> list[Path]:
             fig6_svg(name, r.golden, r.tea, r.ibs, r.top_indices),
         )
     save("fig7", fig7_svg(correlation_exp.run(runner)))
-    sweep_runner = ExperimentRunner(
-        scale=runner.scale,
-        period=runner.period,
-        extra_periods=frequency.SWEEP_PERIODS,
+    sweep_runner = runner.derive(
+        extra_periods=frequency.SWEEP_PERIODS
     )
     save("fig8", fig8_svg(frequency.run(sweep_runner)))
     save("fig9", fig9_svg(granularity.run(runner)))

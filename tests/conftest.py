@@ -7,6 +7,8 @@ pipeline end to end.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.samplers import make_sampler
@@ -15,6 +17,20 @@ from repro.isa.builder import ProgramBuilder
 from repro.uarch.config import CoreConfig
 from repro.uarch.core import simulate
 from repro.workloads import build
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_store(tmp_path_factory):
+    """Point the default engine store at a throwaway directory.
+
+    Keeps tests from reading (or polluting) the user's real
+    ``~/.cache/tea-repro`` store, which could mask model changes with
+    stale cached runs.
+    """
+    os.environ["TEA_REPRO_STORE"] = str(
+        tmp_path_factory.mktemp("tea-store")
+    )
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,32 @@
+"""Shared fixtures for the engine-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Engine, RunSpec
+from repro.experiments.runner import ExperimentRunner
+
+#: One small, fast spec reused (and memoised) across this package.
+SMALL = dict(scale=0.05, period=67)
+
+
+@pytest.fixture(scope="session")
+def engine_runner():
+    """Session-scoped runner over a bare engine (no store)."""
+    return ExperimentRunner(**SMALL)
+
+
+@pytest.fixture(scope="session")
+def exchange2_spec(engine_runner) -> RunSpec:
+    return engine_runner.spec("exchange2")
+
+
+@pytest.fixture(scope="session")
+def exchange2_run(engine_runner):
+    """One simulated small benchmark, shared across engine tests."""
+    return engine_runner.run("exchange2")
+
+
+def make_engine(**kwargs) -> Engine:
+    return Engine(**kwargs)

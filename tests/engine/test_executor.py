@@ -1,0 +1,93 @@
+"""Suite executor: retry semantics, failure reporting, parallelism."""
+
+import functools
+
+import pytest
+
+from repro.engine import SuiteExecutionError, SuiteExecutor
+from repro.engine.executor import simulate_to_payload
+from repro.engine.spec import RunSpec
+
+from tests.engine.conftest import SMALL
+
+
+def test_serial_retry_recovers_from_one_failure():
+    calls = []
+
+    def flaky(item):
+        calls.append(item[0])
+        if len(calls) == 1:
+            raise RuntimeError("transient")
+        return item[0], {"ok": True}
+
+    executor = SuiteExecutor(jobs=1, retries=1, fn=flaky)
+    results = executor.map([("a", None)])
+    assert results == {"a": {"ok": True}}
+    assert calls == ["a", "a"]
+
+
+def test_exhausted_retries_name_the_failing_workload():
+    def doomed(item):
+        if item[0] == "doom":
+            raise ValueError("kernel exploded")
+        return item[0], {"ok": item[0]}
+
+    executor = SuiteExecutor(jobs=1, retries=1, fn=doomed)
+    with pytest.raises(SuiteExecutionError) as excinfo:
+        executor.map([("fine", None), ("doom", None)])
+    exc = excinfo.value
+    assert "doom" in str(exc)
+    assert "kernel exploded" in str(exc)
+    assert "fine" not in exc.failures
+    assert list(exc.failures) == ["doom"]
+    report = exc.report()
+    assert "--- doom ---" in report
+    assert "ValueError: kernel exploded" in report
+
+
+def test_zero_retries_fail_immediately():
+    calls = []
+
+    def flaky(item):
+        calls.append(item[0])
+        raise RuntimeError("always")
+
+    executor = SuiteExecutor(jobs=1, retries=0, fn=flaky)
+    with pytest.raises(SuiteExecutionError):
+        executor.map([("a", None)])
+    assert calls == ["a"]
+
+
+def _flaky_worker(marker_dir, item):
+    """Picklable worker that fails once per label, then succeeds."""
+    import pathlib
+
+    marker = pathlib.Path(marker_dir) / f"{item[0]}.failed"
+    if not marker.exists():
+        marker.write_text("")
+        raise RuntimeError("first attempt dies")
+    return item[0], {"ok": item[0]}
+
+
+def test_parallel_retry_across_processes(tmp_path):
+    fn = functools.partial(_flaky_worker, str(tmp_path))
+    executor = SuiteExecutor(jobs=2, retries=1, fn=fn)
+    results = executor.map([("a", None), ("b", None)])
+    assert results == {"a": {"ok": "a"}, "b": {"ok": "b"}}
+
+
+def _strip_wall(payload):
+    return {k: v for k, v in payload.items() if k != "wall_s"}
+
+
+def test_parallel_matches_serial_bit_identically():
+    """jobs=2 must return byte-identical payloads to jobs=1."""
+    items = [
+        ("exchange2", RunSpec.make("exchange2", **SMALL)),
+        ("xz", RunSpec.make("xz", **SMALL)),
+    ]
+    serial = SuiteExecutor(jobs=1, fn=simulate_to_payload).map(items)
+    parallel = SuiteExecutor(jobs=2, fn=simulate_to_payload).map(items)
+    assert set(serial) == set(parallel) == {"exchange2", "xz"}
+    for label in serial:
+        assert _strip_wall(parallel[label]) == _strip_wall(serial[label])

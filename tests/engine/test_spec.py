@@ -1,0 +1,112 @@
+"""RunSpec canonicalisation and content-hash keying."""
+
+import pytest
+
+from repro.engine import RunSpec, canonical
+from repro.engine.spec import MODEL_VERSION, SPEC_SCHEMA
+from repro.experiments.runner import ExperimentRunner
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.uarch.config import CoreConfig
+from repro.workloads import BUILDERS
+from repro.workloads.base import Workload
+
+
+def test_kwarg_order_permutations_share_a_key():
+    """Regression: the old ``name + repr(sorted(kwargs))`` memo key
+    depended on value reprs; the canonical hash must not."""
+    a = RunSpec.make("lbm", {"alpha": 1, "beta": 2.5, "gamma": "x"})
+    b = RunSpec.make("lbm", {"gamma": "x", "alpha": 1, "beta": 2.5})
+    c = RunSpec.make("lbm", {"beta": 2.5, "gamma": "x", "alpha": 1})
+    assert a.key == b.key == c.key
+    assert a == b == c
+    assert hash(a) == hash(b) == hash(c)
+
+
+def test_dict_valued_kwargs_are_insertion_order_independent():
+    a = RunSpec.make("lbm", {"cfg": {"a": 1, "b": 2}})
+    b = RunSpec.make("lbm", {"cfg": {"b": 2, "a": 1}})
+    assert a.key == b.key
+
+
+def test_value_changes_change_the_key():
+    base = RunSpec.make("lbm", {"alpha": 1})
+    assert base.key != RunSpec.make("lbm", {"alpha": 2}).key
+    assert base.key != RunSpec.make("nab", {"alpha": 1}).key
+    assert base.key != RunSpec.make("lbm", {"alpha": 1.0000001}).key
+
+
+def test_spec_dimensions_feed_the_key():
+    base = RunSpec.make("lbm")
+    assert base.key != RunSpec.make("lbm", scale=0.5).key
+    assert base.key != RunSpec.make("lbm", period=100).key
+    assert base.key != RunSpec.make("lbm", techniques=("TEA",)).key
+    assert base.key != RunSpec.make("lbm", extra_periods=(67,)).key
+    assert base.key != RunSpec.make("lbm", seed=1).key
+    assert base.key != RunSpec.make("lbm", jitter=False).key
+
+
+def test_config_feeds_the_key_structurally():
+    base = RunSpec.make("lbm", config=CoreConfig())
+    same = RunSpec.make("lbm", config=CoreConfig())
+    assert base.key == same.key  # equal configs, different objects
+    small = CoreConfig()
+    small.rob_entries = 32
+    assert base.key != RunSpec.make("lbm", config=small).key
+    assert base.key != RunSpec.make("lbm").key  # None != default
+
+
+def test_canonical_payload_carries_schema_and_model_version():
+    payload = RunSpec.make("lbm").canonical_payload()
+    assert payload["schema"] == SPEC_SCHEMA
+    assert payload["model_version"] == MODEL_VERSION
+
+
+def test_canonical_rejects_unhashable_junk():
+    with pytest.raises(TypeError, match="cannot canonicalise"):
+        canonical(object())
+
+
+def test_sampler_plan_matches_legacy_seeding():
+    spec = RunSpec.make(
+        "lbm", techniques=("IBS", "TEA"), period=293,
+        extra_periods=(67, 101),
+    )
+    plan = list(spec.sampler_plan())
+    assert plan == [
+        ("IBS", "IBS", 293, 12345),
+        ("IBS@67", "IBS", 67, 54321),
+        ("IBS@101", "IBS", 101, 54321),
+        ("TEA", "TEA", 293, 12346),
+        ("TEA@67", "TEA", 67, 54322),
+        ("TEA@101", "TEA", 101, 54322),
+    ]
+
+
+def _build_twokw(scale=1.0, alpha=1, beta=2.0):
+    b = ProgramBuilder("twokw")
+    b.li("x1", 16 + alpha)
+    b.label("loop")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+    return Workload(
+        name="twokw",
+        program=b.build(),
+        state_builder=ArchState,
+        params={"alpha": alpha, "beta": beta},
+    )
+
+
+def test_runner_memo_is_kwarg_order_insensitive(monkeypatch):
+    """End-to-end regression for the memo-key collision: permuted
+    kwargs must hit the same memo entry (one simulation, same object)."""
+    monkeypatch.setitem(BUILDERS, "twokw", _build_twokw)
+    runner = ExperimentRunner(scale=0.05, period=67)
+    first = runner.run("twokw", alpha=3, beta=1.5)
+    second = runner.run("twokw", beta=1.5, alpha=3)
+    assert first is second
+    assert runner.engine.simulations == 1
+    different = runner.run("twokw", alpha=4, beta=1.5)
+    assert different is not first
+    assert runner.engine.simulations == 2

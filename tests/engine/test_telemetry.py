@@ -1,0 +1,158 @@
+"""Run telemetry: metrics records, the JSONL log, and `stats`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    DEFAULT_RUN_LOG_NAME,
+    Engine,
+    RunLog,
+    RunMetrics,
+    RunStore,
+    read_run_log,
+    summarize_run_log,
+)
+from repro.engine.spec import RunSpec
+from repro.engine.telemetry import summarize_records
+
+from tests.engine.conftest import SMALL
+
+
+def metrics(**overrides) -> RunMetrics:
+    base = dict(
+        workload="lbm",
+        spec_key="ab" * 32,
+        source="simulated",
+        wall_s=2.0,
+        cycles=100_000,
+        committed=40_000,
+        samples={"TEA": 341},
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+def test_metrics_to_json():
+    rec = metrics().to_json()
+    assert rec["workload"] == "lbm"
+    assert rec["source"] == "simulated"
+    assert rec["cycles_per_sec"] == pytest.approx(50_000)
+    assert rec["samples"] == {"TEA": 341}
+    assert rec["timestamp"] > 0
+
+
+def test_cycles_per_sec_is_zero_for_instant_hits():
+    assert metrics(wall_s=0.0, source="memo").cycles_per_sec == 0.0
+
+
+def test_run_log_round_trip(tmp_path):
+    path = tmp_path / "log" / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    log.record(metrics(source="memo", wall_s=0.0))
+    with open(path, "a") as handle:
+        handle.write("not json\n")  # must be skipped, not fatal
+    records = read_run_log(path)
+    assert [r["source"] for r in records] == ["simulated", "memo"]
+    assert read_run_log(tmp_path / "missing.jsonl") == []
+
+
+def test_summary_renders_totals_and_per_workload_rows(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    log.record(metrics(source="store", wall_s=0.1))
+    log.record(metrics(workload="nab", source="memo", wall_s=0.0))
+    text = summarize_run_log(path)
+    assert "3 run(s)" in text
+    assert "1 simulated" in text
+    assert "1 store hit(s)" in text
+    assert "1 memo hit(s)" in text
+    assert "lbm" in text and "nab" in text
+
+
+def test_summary_of_empty_log():
+    assert "empty" in summarize_records([])
+
+
+def spec(name="exchange2", **kwargs) -> RunSpec:
+    return RunSpec.make(name, **SMALL, **kwargs)
+
+
+def test_engine_records_every_source(tmp_path):
+    store = RunStore(tmp_path / "store")
+    log_path = tmp_path / "runs.jsonl"
+    engine = Engine(store=store, run_log=RunLog(log_path))
+    engine.run(spec())
+    engine.run(spec())  # memo hit
+    warm = Engine(store=store, run_log=RunLog(log_path))
+    warm.run(spec())  # store hit
+    sources = [r["source"] for r in read_run_log(log_path)]
+    assert sources == ["simulated", "memo", "store"]
+    assert warm.simulations == 0
+
+
+def test_warm_suite_performs_zero_new_simulations(tmp_path):
+    """Acceptance: a second suite over a warm store only reads caches,
+    verified through the run-log source counters."""
+    store = RunStore(tmp_path / "store")
+    specs = {"exchange2": spec(), "xz": spec("xz")}
+
+    cold = Engine(store=store, run_log=RunLog(tmp_path / "cold.jsonl"))
+    cold.run_suite(specs)
+    assert cold.simulations == len(specs)
+
+    warm_log = tmp_path / "warm.jsonl"
+    warm = Engine(store=store, run_log=RunLog(warm_log))
+    warm.run_suite(specs)
+    warm.run_suite(specs)
+    assert warm.simulations == 0
+    sources = {r["source"] for r in read_run_log(warm_log)}
+    assert sources <= {"store", "memo"}
+    assert store.hits >= len(specs)
+
+
+def test_suite_results_identical_across_jobs(tmp_path):
+    serial = Engine(store=None).run_suite(
+        {"exchange2": spec(), "xz": spec("xz")}, jobs=1
+    )
+    parallel = Engine(store=None).run_suite(
+        {"exchange2": spec(), "xz": spec("xz")}, jobs=2
+    )
+    for label, run in serial.items():
+        other = parallel[label]
+        assert other.result.cycles == run.result.cycles
+        assert other.result.golden_raw == run.result.golden_raw
+        for technique in spec().techniques:
+            assert other.error(technique) == run.error(technique)
+
+
+def test_cli_stats_command(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    store = RunStore(store_dir)
+    log = RunLog(store_dir / DEFAULT_RUN_LOG_NAME)
+    engine = Engine(store=store, run_log=log)
+    engine.run(spec())
+    assert main(["--store", str(store_dir), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "1 cached run(s)" in out
+    assert "1 simulated" in out
+
+
+def test_cli_stats_without_store(capsys):
+    assert main(["--no-store", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "run log: none" in out
+
+
+def test_run_log_lines_are_valid_json(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    Engine(run_log=RunLog(path)).run(spec())
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["source"] == "simulated"
+    assert record["spec_key"] == spec().key
+    assert record["samples"]  # every sampler reported a count

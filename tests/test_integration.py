@@ -48,14 +48,14 @@ def full_run(tmp_path_factory):
     log_path = tmp / "tea.bin"
     sink = SampleWriter(log_path, "TEA")
     samplers["TEA"].sink = sink
-    trace = CycleTrace()
-    core = Core(
-        workload.program,
-        samplers=list(samplers.values()) + [phased],
-        arch_state=workload.fresh_state(),
-        cycle_trace=trace,
-    )
-    result = core.run()
+    with CycleTrace() as trace:
+        core = Core(
+            workload.program,
+            samplers=list(samplers.values()) + [phased],
+            arch_state=workload.fresh_state(),
+            cycle_trace=trace,
+        )
+        result = core.run()
     sink.close()
     samplers["TEA"].sink = None
     return workload, result, samplers, phased, trace, log_path

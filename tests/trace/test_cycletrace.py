@@ -7,6 +7,7 @@ per-cycle trace, sharing no code with the core's built-in accounting.
 
 import pytest
 
+from repro.core.states import CommitState
 from repro.trace.cycletrace import (
     CommitRecord,
     CycleTrace,
@@ -19,10 +20,9 @@ from repro.workloads import build
 
 
 def run_with_trace(program, arch_state=None, path=None):
-    trace = CycleTrace(path)
-    core = Core(program, arch_state=arch_state, cycle_trace=trace)
-    result = core.run()
-    trace.close()
+    with CycleTrace(path) as trace:
+        core = Core(program, arch_state=arch_state, cycle_trace=trace)
+        result = core.run()
     return result, trace
 
 
@@ -77,9 +77,45 @@ def test_truncated_trace_rejected(tmp_path, mixed_program):
         read_trace(path)
 
 
-def test_replay_handles_synthetic_records():
-    from repro.core.states import CommitState
+def test_context_manager_closes_file(tmp_path):
+    path = tmp_path / "trace.bin"
+    with CycleTrace(path) as trace:
+        trace.on_cycles(CommitState.COMPUTE, 1, -1)
+        assert trace._file is not None
+    assert trace._file is None
+    assert path.read_bytes().startswith(b"TEACYC1\n")
 
+
+def test_context_manager_closes_on_error(tmp_path):
+    path = tmp_path / "trace.bin"
+    with pytest.raises(RuntimeError, match="boom"):
+        with CycleTrace(path) as trace:
+            trace.on_cycles(CommitState.COMPUTE, 1, -1)
+            raise RuntimeError("boom")
+    assert trace._file is None
+    # The records written before the error survived the close.
+    assert len(read_trace(path)) == 1
+
+
+def test_replay_flushed_before_first_commit():
+    """FLUSHED cycles with no committed instruction yet fall back to
+    the drain rule: they are attributed to the next-committing µop."""
+    records = [
+        CyclesRecord(CommitState.FLUSHED, 4, -1),
+        CommitRecord([(0, 7, 2)]),
+    ]
+    raw = replay_golden(records)
+    assert raw == {(7, 2): pytest.approx(4 + 1.0)}
+
+
+def test_replay_flushed_then_never_committed():
+    """A trace that flushes and ends without a commit drops the cycles
+    rather than crashing (nothing to blame them on)."""
+    records = [CyclesRecord(CommitState.FLUSHED, 4, -1)]
+    assert replay_golden(records) == {}
+
+
+def test_replay_handles_synthetic_records():
     records = [
         CyclesRecord(CommitState.DRAINED, 5, -1),
         CommitRecord([(0, 10, 0), (1, 11, 3)]),
