@@ -1,0 +1,35 @@
+"""Hot-loop throughput: optimised commit loop vs the frozen reference.
+
+Runs the A/B smoke suite (``repro.engine.benchmark``): each workload is
+simulated with the optimised production loop and with
+``Core(reference_loop=True)``, profiles are required to be
+bit-identical, and cycles/s are reported for both sides. The numbers
+feed the BENCH regression gate (``tea-repro bench --baseline ...``).
+
+Note the A/B speedup here isolates the commit-loop rewrite only -- both
+sides share the specialised interpreter and the memory-hierarchy fast
+paths, so the full before/after of the PR (measured against the
+pre-optimisation tree) is larger; see BENCH_pr2.json.
+"""
+
+import os
+
+from repro.engine.benchmark import format_report, run_suite
+
+SCALE = float(os.environ.get("TEA_BENCH_THROUGHPUT_SCALE", "0.1"))
+
+
+def test_throughput_ab(benchmark, emit):
+    report = benchmark.pedantic(
+        lambda: run_suite(["lbm", "mcf", "x264"], scale=SCALE, repeat=2),
+        rounds=1,
+        iterations=1,
+    )
+    emit("throughput_ab", format_report(report))
+    # run_suite raises ProfileMismatchError on any divergence; make the
+    # contract visible here too.
+    assert all(w.identical for w in report.workloads)
+    # The optimised loop must not regress below the reference loop
+    # (small tolerance for scheduler noise on tiny runs).
+    assert report.geomean_speedup is not None
+    assert report.geomean_speedup > 0.9

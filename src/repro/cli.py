@@ -398,6 +398,82 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """``tea-repro bench``: A/B throughput benchmark + regression gate."""
+    from repro.engine.benchmark import (
+        SMOKE_WORKLOADS,
+        ProfileMismatchError,
+        format_report,
+        run_suite,
+    )
+    from repro.engine.telemetry import (
+        compare_bench,
+        read_bench_file,
+        write_bench_file,
+    )
+
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else list(SMOKE_WORKLOADS)
+    )
+    scale = args.scale
+    try:
+        report = run_suite(
+            workloads,
+            scale=scale,
+            repeat=args.repeat,
+            ab=not args.no_ab,
+            period=args.period,
+        )
+    except ProfileMismatchError as exc:
+        print(f"A/B FAILURE: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+
+    if args.out:
+        write_bench_file(
+            args.out,
+            report.to_bench_entries(),
+            note=f"tea-repro bench: scale={scale}, period={args.period}, "
+            f"repeat={args.repeat}, best-of-N cycles/s",
+        )
+        print(f"wrote {args.out}")
+
+    failed = False
+    if args.baseline:
+        problems = compare_bench(
+            read_bench_file(args.baseline),
+            report.to_bench_entries(),
+            tolerance=args.tolerance,
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            failed = True
+        else:
+            print(
+                f"regression gate: OK "
+                f"(tolerance {args.tolerance:.0%} vs {args.baseline})"
+            )
+    if args.min_speedup is not None:
+        geomean = report.geomean_speedup
+        if geomean is None:
+            print(
+                "min-speedup check needs A/B runs (drop --no-ab)",
+                file=sys.stderr,
+            )
+            failed = True
+        elif geomean < args.min_speedup:
+            print(
+                f"SPEEDUP FAILURE: geomean {geomean:.2f}x < "
+                f"required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -500,6 +576,41 @@ def main(argv: list[str] | None = None) -> int:
         "stats", help="summarise the run store and telemetry log"
     )
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="A/B throughput benchmark (optimised vs reference loop)",
+    )
+    bench_parser.add_argument(
+        "--workloads", default=None, metavar="A,B,...",
+        help="comma-separated workload names (default: the smoke trio)",
+    )
+    bench_parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed runs per side, best counts (default 3)",
+    )
+    bench_parser.add_argument(
+        "--no-ab", action="store_true",
+        help="skip the reference-loop side (timing only, no "
+        "bit-identity check)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write a BENCH json of the measurements",
+    )
+    bench_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed BENCH json to gate against",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional cycles/s drop vs the baseline "
+        "(default 0.2)",
+    )
+    bench_parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail unless the geomean A/B speedup reaches this",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "profile":
@@ -510,6 +621,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_diff(args)
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "figures":
         return cmd_figures(args)
 

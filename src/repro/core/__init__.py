@@ -37,6 +37,7 @@ from repro.core.psv import (
 from repro.core.pics import Granularity, PicsProfile
 from repro.core.error import pics_error
 from repro.core.samplers import (
+    TECHNIQUE_NAMES,
     DispatchTagSampler,
     FetchTagSampler,
     GoldenReference,
@@ -68,6 +69,7 @@ __all__ = [
     "GoldenReference",
     "NciTeaSampler",
     "Sampler",
+    "TECHNIQUE_NAMES",
     "TeaSampler",
     "make_sampler",
 ]

@@ -39,8 +39,8 @@ class PhasedTeaSampler(TeaSampler):
         super().start(core)
         self.window_raw = {}
 
-    def capture(self, index, psv, weight, cycle=None):
-        super().capture(index, psv, weight, cycle=cycle)
+    def capture(self, index, psv, weight, cycle=None, tally=True):
+        super().capture(index, psv, weight, cycle=cycle, tally=tally)
         window_id = 0 if cycle is None else cycle // self.window
         raw = self.window_raw.setdefault(window_id, {})
         key = (index, psv & self.mask)

@@ -29,7 +29,6 @@ import random
 from typing import TYPE_CHECKING
 
 from repro.core.events import (
-    EVENT_SETS,
     FULL_MASK,
     IBS_EVENTS,
     RIS_EVENTS,
@@ -121,6 +120,7 @@ class Sampler:
     def capture(
         self, index: int, psv: int, weight: float,
         cycle: int | None = None,
+        tally: bool = True,
     ) -> None:
         """Record *weight* cycles for (instruction, projected signature).
 
@@ -130,10 +130,15 @@ class Sampler:
             weight: Cycles this capture represents.
             cycle: Cycle at which the capture resolved (commit time for
                 deferred samples); used by phase-resolved subclasses.
+            tally: Count this capture in ``samples_taken``. A sample whose
+                weight is split over several committing µops is still one
+                sample -- the splitting caller passes ``tally=False`` for
+                all shares but the first.
         """
         key = (index, psv & self.mask)
         self.raw[key] = self.raw.get(key, 0.0) + weight
-        self.samples_taken += 1
+        if tally:
+            self.samples_taken += 1
         if self.sink is not None:
             self.sink.write(key[0], key[1], weight)
 
@@ -162,13 +167,17 @@ class TeaSampler(Sampler):
         if state == CommitState.COMPUTE:
             committing = core.committing_now
             share = weight / len(committing)
-            for uop in committing:
+            for i, uop in enumerate(committing):
                 self.capture(uop.index, uop.psv, share,
-                             cycle=core.cycle)
+                             cycle=core.cycle, tally=i == 0)
         elif state == CommitState.STALLED:
             # PSV is read when the µop commits (the hardware delays the
             # sample until then so the PSV is final).
-            core.rob_head.pending_samples.append((self, weight))
+            head = core.rob_head
+            if head.pending_samples is None:
+                head.pending_samples = [(self, weight)]
+            else:
+                head.pending_samples.append((self, weight))
         elif state == CommitState.DRAINED:
             core.add_drain_waiter(self, weight)
         else:  # FLUSHED: blame the last-committed (flushing) instruction.
@@ -207,11 +216,15 @@ class NciTeaSampler(Sampler):
         if state == CommitState.COMPUTE:
             committing = core.committing_now
             share = weight / len(committing)
-            for uop in committing:
+            for i, uop in enumerate(committing):
                 self.capture(uop.index, uop.psv, share,
-                             cycle=core.cycle)
+                             cycle=core.cycle, tally=i == 0)
         elif state == CommitState.STALLED:
-            core.rob_head.pending_samples.append((self, weight))
+            head = core.rob_head
+            if head.pending_samples is None:
+                head.pending_samples = [(self, weight)]
+            else:
+                head.pending_samples.append((self, weight))
         else:
             # DRAINED and FLUSHED both attribute to the next-committing
             # instruction -- wrong for flushes, which is NCI's error source.
@@ -248,6 +261,14 @@ class GoldenReference:
     def profile(self, core: "Core") -> PicsProfile:
         """The golden PICS profile of a completed run."""
         return PicsProfile.from_raw(self.name, core.golden_raw)
+
+
+#: Technique names :func:`make_sampler` accepts. Error messages used to
+#: print ``sorted(EVENT_SETS)``, which omitted "TIP" and misreported
+#: "TEA-dispatch" -- this tuple is the actual contract.
+TECHNIQUE_NAMES = (
+    "IBS", "NCI-TEA", "RIS", "SPE", "TEA", "TEA-dispatch", "TIP",
+)
 
 
 def make_sampler(
@@ -299,5 +320,5 @@ def make_sampler(
         )
     raise ValueError(
         f"unknown technique {technique!r}; expected one of "
-        f"{sorted(EVENT_SETS)} or 'TEA-dispatch'"
+        f"{list(TECHNIQUE_NAMES)}"
     )

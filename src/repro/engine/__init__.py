@@ -18,6 +18,14 @@ out-of-band methodology) as a real architectural layer:
 package.
 """
 
+from repro.engine.benchmark import (
+    BenchReport,
+    ProfileMismatchError,
+    WorkloadBench,
+    format_report,
+    run_suite,
+    run_workload,
+)
 from repro.engine.engine import Engine
 from repro.engine.executor import (
     SuiteExecutionError,
@@ -46,11 +54,15 @@ from repro.engine.telemetry import (
     DEFAULT_RUN_LOG_NAME,
     RunLog,
     RunMetrics,
+    compare_bench,
+    read_bench_file,
     read_run_log,
     summarize_run_log,
+    write_bench_file,
 )
 
 __all__ = [
+    "BenchReport",
     "BenchmarkRun",
     "DEFAULT_PERIOD",
     "DEFAULT_RUN_LOG_NAME",
@@ -59,6 +71,7 @@ __all__ = [
     "LoadedSampler",
     "MODEL_VERSION",
     "PAYLOAD_SCHEMA",
+    "ProfileMismatchError",
     "RunLog",
     "RunMetrics",
     "RunSpec",
@@ -66,13 +79,20 @@ __all__ = [
     "SuiteExecutionError",
     "SuiteExecutor",
     "TECHNIQUES",
+    "WorkloadBench",
     "build_workload",
     "canonical",
+    "compare_bench",
     "default_store_root",
+    "format_report",
+    "read_bench_file",
     "read_run_log",
     "run_from_payload",
+    "run_suite",
     "run_to_payload",
+    "run_workload",
     "simulate_spec",
     "simulate_to_payload",
     "summarize_run_log",
+    "write_bench_file",
 ]

@@ -1,0 +1,274 @@
+"""A/B throughput benchmark: the optimised hot loop vs the reference.
+
+The core keeps two commit loops: the optimised production path and the
+frozen pre-optimisation reference (``Core(reference_loop=True)``).  The
+optimisation contract is *bit-identity*: for a fixed seed the two loops
+must produce exactly the same cycle count, golden attribution,
+commit-state histogram, and per-sampler raw profiles -- the optimised
+loop is only allowed to be faster, never different.
+
+This module measures both loops on real workloads, enforces that
+contract, and reports throughput (simulated cycles per wall second) so
+CI can gate on regressions:
+
+* :func:`run_workload` -- one workload: best-of-N timed optimised runs,
+  one timed reference run, profile-equality check, speedup.
+* :func:`run_suite` -- a list of workloads plus the geometric-mean
+  speedup.
+* :func:`BenchReport.to_bench_entries` -- the mapping
+  :func:`repro.engine.telemetry.write_bench_file` persists for the CI
+  regression gate (``tea-repro bench``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.samplers import make_sampler
+from repro.engine.spec import DEFAULT_PERIOD, TECHNIQUES
+from repro.uarch.core import Core
+from repro.workloads import build
+
+#: Default workloads for the CI smoke benchmark: small enough to run in
+#: a couple of minutes at the smoke scale, diverse enough to exercise
+#: the compute-, memory-, and branch-bound corners of the hot loop.
+SMOKE_WORKLOADS = ("lbm", "mcf", "x264")
+
+#: Workload scale for the smoke benchmark.
+SMOKE_SCALE = 0.2
+
+
+class ProfileMismatchError(AssertionError):
+    """The optimised and reference loops disagreed on a profile."""
+
+
+@dataclass
+class WorkloadBench:
+    """A/B measurement of one workload.
+
+    Attributes:
+        name: Workload name.
+        cycles: Simulated cycles per run (identical across A and B).
+        cycles_per_sec: Optimised-loop throughput (best of ``repeat``).
+        reference_cycles_per_sec: Reference-loop throughput (best of
+            ``repeat``); None when the reference side was skipped.
+        speedup: ``cycles_per_sec / reference_cycles_per_sec`` (None
+            when the reference side was skipped).
+        identical: True when every profile matched between the two
+            loops; None when the reference side was skipped.
+    """
+
+    name: str
+    cycles: int
+    cycles_per_sec: float
+    reference_cycles_per_sec: float | None = None
+    speedup: float | None = None
+    identical: bool | None = None
+
+
+@dataclass
+class BenchReport:
+    """A/B measurements for a workload suite."""
+
+    workloads: list[WorkloadBench]
+
+    @property
+    def geomean_speedup(self) -> float | None:
+        """Geometric-mean speedup (None without reference runs)."""
+        speedups = [
+            w.speedup for w in self.workloads if w.speedup is not None
+        ]
+        if not speedups:
+            return None
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
+    def to_bench_entries(self) -> dict[str, dict[str, float]]:
+        """Per-workload entries for a BENCH file."""
+        entries: dict[str, dict[str, float]] = {}
+        for w in self.workloads:
+            entry: dict[str, float] = {
+                "cycles": float(w.cycles),
+                "cycles_per_sec": round(w.cycles_per_sec, 1),
+            }
+            if w.reference_cycles_per_sec is not None:
+                entry["reference_cycles_per_sec"] = round(
+                    w.reference_cycles_per_sec, 1
+                )
+            if w.speedup is not None:
+                entry["speedup"] = round(w.speedup, 3)
+            entries[w.name] = entry
+        return entries
+
+
+def _timed_run(
+    workload,
+    techniques: Sequence[str],
+    period: int,
+    seed: int,
+    reference_loop: bool,
+) -> tuple[float, int, dict[str, Any]]:
+    """One fresh simulation; (wall seconds, cycles, profile snapshot)."""
+    samplers = [
+        make_sampler(t, period, seed=seed + i)
+        for i, t in enumerate(techniques)
+    ]
+    core = Core(
+        workload.program,
+        samplers=samplers,
+        arch_state=workload.fresh_state(),
+        reference_loop=reference_loop,
+    )
+    start = time.perf_counter()
+    result = core.run()
+    wall = time.perf_counter() - start
+    profiles: dict[str, Any] = {
+        "cycles": result.cycles,
+        "golden": dict(result.golden_raw),
+        "state_cycles": dict(core.state_cycles),
+        "samplers": [
+            {
+                "raw": dict(s.raw),
+                "taken": s.samples_taken,
+                "dropped": s.samples_dropped,
+            }
+            for s in samplers
+        ],
+    }
+    return wall, result.cycles, profiles
+
+
+def run_workload(
+    name: str,
+    scale: float = SMOKE_SCALE,
+    repeat: int = 3,
+    ab: bool = True,
+    techniques: Sequence[str] = TECHNIQUES,
+    period: int = DEFAULT_PERIOD,
+    seed: int = 12345,
+) -> WorkloadBench:
+    """Benchmark one workload, A/B-checked against the reference loop.
+
+    Args:
+        name: Workload name (see :mod:`repro.workloads`).
+        scale: Workload scale factor.
+        repeat: Timed runs per side; the best (highest cycles/s) counts,
+            which is the standard guard against scheduler noise.
+        ab: Also run the frozen reference loop and require bit-identical
+            profiles. Disable only for quick local timing.
+        techniques: Sampler techniques to attach.
+        period: Sampling period.
+        seed: Base sampler seed (technique *i* uses ``seed + i``).
+
+    Raises:
+        ProfileMismatchError: When any optimised-loop profile (cycles,
+            golden attribution, state histogram, or a sampler's raw
+            profile) differs from the reference loop's.
+    """
+    workload = build(name, scale=scale)
+    best_wall = math.inf
+    profiles: dict[str, Any] | None = None
+    cycles = 0
+    for _ in range(max(1, repeat)):
+        wall, cycles, run_profiles = _timed_run(
+            workload, techniques, period, seed, reference_loop=False
+        )
+        if wall < best_wall:
+            best_wall = wall
+        if profiles is None:
+            profiles = run_profiles
+        elif run_profiles != profiles:
+            raise ProfileMismatchError(
+                f"{name}: optimised loop is not deterministic across "
+                f"repeats"
+            )
+    bench = WorkloadBench(
+        name=name,
+        cycles=cycles,
+        cycles_per_sec=cycles / best_wall if best_wall > 0 else 0.0,
+    )
+    if not ab:
+        return bench
+
+    best_ref_wall = math.inf
+    ref_profiles: dict[str, Any] | None = None
+    for _ in range(max(1, repeat)):
+        wall, _, run_profiles = _timed_run(
+            workload, techniques, period, seed, reference_loop=True
+        )
+        if wall < best_ref_wall:
+            best_ref_wall = wall
+        if ref_profiles is None:
+            ref_profiles = run_profiles
+    bench.identical = profiles == ref_profiles
+    if not bench.identical:
+        assert profiles is not None and ref_profiles is not None
+        detail = [
+            key
+            for key in ("cycles", "golden", "state_cycles", "samplers")
+            if profiles[key] != ref_profiles[key]
+        ]
+        raise ProfileMismatchError(
+            f"{name}: optimised loop diverges from the reference loop "
+            f"in {', '.join(detail)}"
+        )
+    bench.reference_cycles_per_sec = (
+        cycles / best_ref_wall if best_ref_wall > 0 else 0.0
+    )
+    if bench.reference_cycles_per_sec > 0:
+        bench.speedup = bench.cycles_per_sec / bench.reference_cycles_per_sec
+    return bench
+
+
+def run_suite(
+    workloads: Sequence[str] = SMOKE_WORKLOADS,
+    scale: float = SMOKE_SCALE,
+    repeat: int = 3,
+    ab: bool = True,
+    techniques: Sequence[str] = TECHNIQUES,
+    period: int = DEFAULT_PERIOD,
+    seed: int = 12345,
+) -> BenchReport:
+    """Benchmark a list of workloads (see :func:`run_workload`)."""
+    return BenchReport(
+        workloads=[
+            run_workload(
+                name,
+                scale=scale,
+                repeat=repeat,
+                ab=ab,
+                techniques=techniques,
+                period=period,
+                seed=seed,
+            )
+            for name in workloads
+        ]
+    )
+
+
+def format_report(report: BenchReport) -> str:
+    """Render a human-readable A/B throughput table."""
+    lines = [
+        f"{'workload':<12s} {'cycles':>10s} {'opt c/s':>12s} "
+        f"{'ref c/s':>12s} {'speedup':>8s}  A/B"
+    ]
+    for w in report.workloads:
+        ref = (
+            f"{w.reference_cycles_per_sec:>12,.0f}"
+            if w.reference_cycles_per_sec is not None
+            else f"{'-':>12s}"
+        )
+        speedup = (
+            f"{w.speedup:>7.2f}x" if w.speedup is not None else f"{'-':>8s}"
+        )
+        check = {True: "identical", False: "MISMATCH", None: "-"}[w.identical]
+        lines.append(
+            f"{w.name:<12s} {w.cycles:>10,d} {w.cycles_per_sec:>12,.0f} "
+            f"{ref} {speedup}  {check}"
+        )
+    geomean = report.geomean_speedup
+    if geomean is not None:
+        lines.append(f"geomean speedup: {geomean:.2f}x")
+    return "\n".join(lines)

@@ -43,7 +43,9 @@ SPEC_SCHEMA = "tea-spec-v1"
 #: Behavioural revision of the simulation stack. Bump whenever the
 #: timing model, samplers, or attribution policy change results; every
 #: stored run keyed under the old version then misses automatically.
-MODEL_VERSION = 1
+#: v2: samples_taken counts one sample per sample() even when its weight
+#: is split across several committing µops (stored runs record it).
+MODEL_VERSION = 2
 
 
 def _sort_token(value: Any) -> str:

@@ -18,7 +18,7 @@ import heapq
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Aggregate cache statistics."""
 
@@ -86,6 +86,17 @@ class SetAssocCache:
         line_bytes: Line size (must be a power of two).
         mshrs: Maximum concurrent outstanding fills (0 = unlimited).
     """
+
+    __slots__ = (
+        "name",
+        "line_bytes",
+        "assoc",
+        "num_sets",
+        "mshrs",
+        "stats",
+        "_sets",
+        "_inflight",
+    )
 
     def __init__(
         self,
@@ -195,9 +206,14 @@ class SetAssocCache:
 
         writeback = False
         if len(cache_set) >= self.assoc:
-            victim_tag = min(
-                cache_set, key=lambda t: cache_set[t].last_use
-            )
+            # Manual LRU scan (min(key=...) pays a lambda call per way).
+            victim_tag = None
+            oldest = None
+            for cand_tag, cand in cache_set.items():
+                last_use = cand.last_use
+                if oldest is None or last_use < oldest:
+                    oldest = last_use
+                    victim_tag = cand_tag
             victim = cache_set.pop(victim_tag)
             stats.evictions += 1
             if victim.dirty:
@@ -215,6 +231,91 @@ class SetAssocCache:
             writeback=writeback,
             mshr_delay=mshr_delay,
         )
+
+    # ------------------------------------------------------------------
+    # Split hot-path API: lookup() then (on absence) fill().
+    #
+    # The hierarchy's fill-through paths used to probe() and then
+    # access() -- two address decodes and two set lookups per reference.
+    # lookup()/fill() cover the same state transitions and statistics in
+    # one pass each: a lookup()+fill() pair is observably identical
+    # (stats, LRU, MSHRs, timing) to the probe()+access() pair it
+    # replaces.
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int, now: int, is_write: bool = False) -> int | None:
+        """Touch *addr*'s line if present; None means caller must fill().
+
+        Returns the data-ready time: *now* for a ready line, the fill's
+        ready time for a secondary miss (always > *now*). Statistics and
+        LRU state advance exactly as :meth:`access` would on the same
+        present-line access; an absent line has no effect.
+        """
+        line_idx = addr // self.line_bytes
+        cache_set = self._sets.get(line_idx % self.num_sets)
+        if cache_set is None:
+            return None
+        line = cache_set.get(line_idx // self.num_sets)
+        if line is None:
+            return None
+        stats = self.stats
+        stats.accesses += 1
+        line.last_use = now
+        if is_write:
+            line.dirty = True
+        ready = line.ready_time
+        if ready <= now:
+            return now
+        stats.secondary_misses += 1
+        return ready
+
+    def fill(
+        self,
+        addr: int,
+        now: int,
+        fill_latency: int,
+        is_write: bool = False,
+        is_prefetch: bool = False,
+    ) -> tuple[int, bool, int]:
+        """Start a fill for an absent line (caller saw lookup() == None).
+
+        Returns (ready_time, writeback, mshr_delay), matching the miss
+        path of :meth:`access` exactly.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        stats.misses += 1
+        if is_prefetch:
+            stats.prefetch_fills += 1
+        line_idx = addr // self.line_bytes
+        set_index = line_idx % self.num_sets
+        tag = line_idx // self.num_sets
+        cache_set = self._sets.get(set_index)
+        if cache_set is None:
+            cache_set = {}
+            self._sets[set_index] = cache_set
+        mshr_delay = self._mshr_delay(now)
+        ready = now + mshr_delay + fill_latency
+        heapq.heappush(self._inflight, ready)
+        writeback = False
+        if len(cache_set) >= self.assoc:
+            # Manual LRU scan (min(key=...) pays a lambda call per way).
+            victim_tag = None
+            oldest = None
+            for cand_tag, cand in cache_set.items():
+                last_use = cand.last_use
+                if oldest is None or last_use < oldest:
+                    oldest = last_use
+                    victim_tag = cand_tag
+            victim = cache_set.pop(victim_tag)
+            stats.evictions += 1
+            if victim.dirty:
+                stats.writebacks += 1
+                writeback = True
+        new_line = _Line(tag, ready, now)
+        if is_write:
+            new_line.dirty = True
+        cache_set[tag] = new_line
+        return ready, writeback, mshr_delay
 
     def probe(self, addr: int) -> bool:
         """True if *addr*'s line is present (ready or filling); no effects."""

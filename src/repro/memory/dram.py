@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class DramStats:
     """Aggregate DRAM statistics."""
 
@@ -42,6 +42,8 @@ class Dram:
         cycles_per_line: Channel occupancy per 64-byte line transfer; this
             sets the bandwidth ceiling.
     """
+
+    __slots__ = ("latency", "cycles_per_line", "stats", "_next_free")
 
     def __init__(self, latency: int = 110, cycles_per_line: int = 13) -> None:
         self.latency = latency

@@ -99,6 +99,27 @@ class MemoryHierarchy:
         shared_dram: Likewise for the DRAM channel.
     """
 
+    __slots__ = (
+        "config",
+        "l1i",
+        "l1d",
+        "llc",
+        "_llc_shared",
+        "_dram_shared",
+        "l2_tlb",
+        "itlb",
+        "dtlb",
+        "dram",
+        "_fill_was_llc_miss",
+        "_line_bytes",
+        "_l1d_latency",
+        "_l1d_miss_detect",
+        "_l1i_latency",
+        "_llc_latency",
+        "_llc_miss_detect",
+        "_next_line_pf",
+    )
+
     def __init__(
         self,
         config: MemoryConfig | None = None,
@@ -141,6 +162,14 @@ class MemoryHierarchy:
         # line address -> whether its in-flight L1 fill also missed the LLC
         # (lets secondary misses report ST-LLC); lazily pruned.
         self._fill_was_llc_miss: dict[int, tuple[int, bool]] = {}
+        # Hoisted configuration scalars for the access hot paths.
+        self._line_bytes = cfg.line_bytes
+        self._l1d_latency = cfg.l1d_latency
+        self._l1d_miss_detect = cfg.l1d_miss_detect
+        self._l1i_latency = cfg.l1i_latency
+        self._llc_latency = cfg.llc_latency
+        self._llc_miss_detect = cfg.llc_miss_detect
+        self._next_line_pf = cfg.next_line_prefetch
 
     # ------------------------------------------------------------------
     # Internal: LLC + DRAM path shared by all L1 fills.
@@ -149,53 +178,56 @@ class MemoryHierarchy:
         self, addr: int, now: int, is_write: bool
     ) -> tuple[int, bool]:
         """Fetch a line from LLC/DRAM at *now*; return (ready, llc_missed)."""
-        cfg = self.config
-        if self.llc.probe(addr):
-            res = self.llc.access(addr, now, 0, is_write=is_write)
+        llc = self.llc
+        llc_latency = self._llc_latency
+        found = llc.lookup(addr, now, is_write=is_write)
+        if found is not None:
             # Hit (possibly on a still-filling line).
-            ready = max(res.ready_time, now) + cfg.llc_latency
-            llc_missed = res.ready_time > now + cfg.llc_latency
-            return ready, llc_missed
-        dram_at = now + cfg.llc_miss_detect
-        dram_latency = self.dram.access(dram_at)
-        fill_latency = cfg.llc_miss_detect + dram_latency
-        res = self.llc.access(addr, now, fill_latency, is_write=is_write)
-        if res.writeback:
-            self.dram.access(res.ready_time, is_write=True)
-        return res.ready_time + res.mshr_delay, True
+            return (
+                (found if found > now else now) + llc_latency,
+                found > now + llc_latency,
+            )
+        miss_detect = self._llc_miss_detect
+        dram_latency = self.dram.access(now + miss_detect)
+        ready, writeback, mshr_delay = llc.fill(
+            addr, now, miss_detect + dram_latency, is_write=is_write
+        )
+        if writeback:
+            self.dram.access(ready, is_write=True)
+        return ready + mshr_delay, True
 
     def _l1d_fill(
         self, addr: int, now: int, is_write: bool, is_prefetch: bool = False
     ) -> DataAccess:
         """L1D access with fill-through from LLC/DRAM on a miss."""
-        cfg = self.config
-        line = self.l1d.line_addr(addr)
-        if self.l1d.probe(addr):
-            res = self.l1d.access(addr, now, 0, is_write=is_write)
-            if res.hit:
-                return DataAccess(ready_time=now + cfg.l1d_latency)
+        l1d = self.l1d
+        found = l1d.lookup(addr, now, is_write=is_write)
+        if found is not None:
+            if found <= now:
+                return DataAccess(ready_time=now + self._l1d_latency)
             # Secondary miss: wait for the in-flight fill.
+            line = addr - (addr % self._line_bytes)
             entry = self._fill_was_llc_miss.get(line)
-            llc_missed = entry[1] if entry else False
             return DataAccess(
-                ready_time=res.ready_time,
+                ready_time=found,
                 l1_miss=True,
-                llc_miss=llc_missed,
+                llc_miss=entry[1] if entry else False,
             )
-        miss_at = now + cfg.l1d_miss_detect
+        line = addr - (addr % self._line_bytes)
+        miss_at = now + self._l1d_miss_detect
         fill_ready, llc_missed = self._fill_from_llc(line, miss_at, False)
-        res = self.l1d.access(
+        ready, _writeback, _mshr = l1d.fill(
             addr,
             now,
             fill_ready - now,
             is_write=is_write,
             is_prefetch=is_prefetch,
         )
-        self._fill_was_llc_miss[line] = (res.ready_time, llc_missed)
+        self._fill_was_llc_miss[line] = (ready, llc_missed)
         if len(self._fill_was_llc_miss) > 4096:
             self._prune_fill_map(now)
         return DataAccess(
-            ready_time=res.ready_time,
+            ready_time=ready,
             l1_miss=True,
             llc_miss=llc_missed,
         )
@@ -208,6 +240,79 @@ class MemoryHierarchy:
         }
 
     # ------------------------------------------------------------------
+    # All-hit fast paths.
+    #
+    # The core's load/store-drain hot paths call these first. They reach
+    # into the TLB and L1D internals on purpose: the win is collapsing
+    # the lookup call chain (and the TlbResult/DataAccess records) for
+    # the dominant all-hit case into one call. Contract: on success the
+    # side effects (stats, LRU tick, line touch/dirty) are exactly those
+    # of the access_load()/access_store() all-hit path; on None *nothing*
+    # was touched, so the caller falls through to the general path with
+    # no double accounting.
+    # ------------------------------------------------------------------
+    def load_fast(self, addr: int, now: int) -> int | None:
+        """Data-ready time for a D-TLB-hit + ready-L1D-line load, or None."""
+        dtlb = self.dtlb
+        vpn = addr // dtlb.page_bytes
+        tlb_map = dtlb._map
+        if vpn not in tlb_map:
+            return None
+        l1d = self.l1d
+        line_idx = addr // self._line_bytes
+        cache_set = l1d._sets.get(line_idx % l1d.num_sets)
+        if cache_set is None:
+            return None
+        line = cache_set.get(line_idx // l1d.num_sets)
+        if line is None or line.ready_time > now:
+            return None
+        dtlb.stats.accesses += 1
+        tick = dtlb._tick + 1
+        dtlb._tick = tick
+        tlb_map[vpn] = tick
+        l1d.stats.accesses += 1
+        line.last_use = now
+        return now + self._l1d_latency
+
+    def inst_fast(self, addr: int, now: int) -> int | None:
+        """Packet-ready time for an I-TLB-hit + ready-L1I-line fetch."""
+        itlb = self.itlb
+        vpn = addr // itlb.page_bytes
+        tlb_map = itlb._map
+        if vpn not in tlb_map:
+            return None
+        l1i = self.l1i
+        line_idx = addr // self._line_bytes
+        cache_set = l1i._sets.get(line_idx % l1i.num_sets)
+        if cache_set is None:
+            return None
+        line = cache_set.get(line_idx // l1i.num_sets)
+        if line is None or line.ready_time > now:
+            return None
+        itlb.stats.accesses += 1
+        tick = itlb._tick + 1
+        itlb._tick = tick
+        tlb_map[vpn] = tick
+        l1i.stats.accesses += 1
+        line.last_use = now
+        return now + self._l1i_latency
+
+    def store_fast(self, addr: int, now: int) -> int | None:
+        """Ready time for a ready-L1D-line store drain (translate=False)."""
+        l1d = self.l1d
+        line_idx = addr // self._line_bytes
+        cache_set = l1d._sets.get(line_idx % l1d.num_sets)
+        if cache_set is None:
+            return None
+        line = cache_set.get(line_idx // l1d.num_sets)
+        if line is None or line.ready_time > now:
+            return None
+        l1d.stats.accesses += 1
+        line.last_use = now
+        line.dirty = True
+        return now + self._l1d_latency
+
+    # ------------------------------------------------------------------
     # Public data-side API.
     # ------------------------------------------------------------------
     def access_load(self, addr: int, now: int) -> DataAccess:
@@ -216,10 +321,7 @@ class MemoryHierarchy:
         start = now + tlb.latency
         access = self._l1d_fill(addr, start, is_write=False)
         access.tlb_miss = not tlb.hit
-        if (
-            access.l1_miss
-            and self.config.next_line_prefetch
-        ):
+        if access.l1_miss and self._next_line_pf:
             self._next_line_prefetch(addr, start)
         return access
 
@@ -257,7 +359,8 @@ class MemoryHierarchy:
 
     def _next_line_prefetch(self, addr: int, now: int) -> None:
         """Hardware next-line prefetch into the L1D after a demand miss."""
-        next_line = self.l1d.line_addr(addr) + self.config.line_bytes
+        line_bytes = self._line_bytes
+        next_line = addr - (addr % line_bytes) + line_bytes
         if not self.l1d.probe(next_line):
             self._l1d_fill(next_line, now, is_write=False, is_prefetch=True)
 
@@ -271,28 +374,28 @@ class MemoryHierarchy:
         fetch-ahead, as in the BOOM front end) so straight-line code does
         not pay the full miss latency per line.
         """
-        cfg = self.config
+        l1i = self.l1i
         tlb = self.itlb.lookup(addr)
         start = now + tlb.latency
-        if self.l1i.probe(addr):
-            res = self.l1i.access(addr, start, 0)
-            if res.hit:
+        found = l1i.lookup(addr, start)
+        if found is not None:
+            if found <= start:
                 return InstAccess(
-                    ready_time=start + cfg.l1i_latency,
+                    ready_time=start + self._l1i_latency,
                     itlb_miss=not tlb.hit,
                 )
             self._prefetch_next_inst_line(addr, start)
             return InstAccess(
-                ready_time=res.ready_time,
+                ready_time=found,
                 icache_miss=True,
                 itlb_miss=not tlb.hit,
             )
-        line = self.l1i.line_addr(addr)
+        line = addr - (addr % self._line_bytes)
         fill_ready, _ = self._fill_from_llc(line, start, False)
-        res = self.l1i.access(addr, start, fill_ready - start)
+        ready, _writeback, _mshr = l1i.fill(addr, start, fill_ready - start)
         self._prefetch_next_inst_line(addr, start)
         return InstAccess(
-            ready_time=res.ready_time,
+            ready_time=ready,
             icache_miss=True,
             itlb_miss=not tlb.hit,
         )
@@ -300,14 +403,15 @@ class MemoryHierarchy:
     def _prefetch_next_inst_line(self, addr: int, now: int) -> None:
         """Sequential fetch-ahead: pull the next code lines into the L1I."""
         cfg = self.config
+        l1i = self.l1i
+        line_bytes = self._line_bytes
+        line = addr - (addr % line_bytes)
         for ahead in range(1, cfg.l1i_prefetch_depth + 1):
-            next_line = self.l1i.line_addr(addr) + ahead * cfg.line_bytes
-            if self.l1i.probe(next_line):
+            next_line = line + ahead * line_bytes
+            if l1i.probe(next_line):
                 continue
             fill_ready, _ = self._fill_from_llc(next_line, now, False)
-            self.l1i.access(
-                next_line, now, fill_ready - now, is_prefetch=True
-            )
+            l1i.fill(next_line, now, fill_ready - now, is_prefetch=True)
 
     def reset(self) -> None:
         """Reset every component (caches, TLBs, DRAM, bookkeeping)."""

@@ -27,7 +27,13 @@ class TlbResult:
     l2_hit: bool = False
 
 
-@dataclass
+#: Shared hit result returned by every L1 TLB hit. Lookups allocate a
+#: result object only on the (rare) miss path; callers treat results as
+#: read-only.
+_TLB_HIT = TlbResult(hit=True, latency=0)
+
+
+@dataclass(slots=True)
 class TlbStats:
     """Aggregate TLB statistics."""
 
@@ -52,6 +58,18 @@ class Tlb:
         l2_latency: Cycles for an L1-miss/L2-hit refill.
         walk_latency: Cycles for a full page-table walk.
     """
+
+    __slots__ = (
+        "name",
+        "entries",
+        "l2",
+        "page_bytes",
+        "l2_latency",
+        "walk_latency",
+        "stats",
+        "_map",
+        "_tick",
+    )
 
     def __init__(
         self,
@@ -79,11 +97,13 @@ class Tlb:
     def lookup(self, addr: int) -> TlbResult:
         """Translate *addr*; on a miss, refill through L2/page walker."""
         self.stats.accesses += 1
-        self._tick += 1
-        vpn = self.page_of(addr)
-        if vpn in self._map:
-            self._map[vpn] = self._tick
-            return TlbResult(hit=True, latency=0)
+        tick = self._tick + 1
+        self._tick = tick
+        vpn = addr // self.page_bytes
+        tlb_map = self._map
+        if vpn in tlb_map:
+            tlb_map[vpn] = tick
+            return _TLB_HIT
 
         self.stats.misses += 1
         l2_hit = self.l2.lookup(vpn) if self.l2 is not None else False
@@ -109,6 +129,8 @@ class Tlb:
 
 class L2Tlb:
     """Direct-mapped second-level TLB shared by the I and D sides."""
+
+    __slots__ = ("entries", "_slots", "hits", "misses")
 
     def __init__(self, entries: int = 1024) -> None:
         self.entries = entries

@@ -13,13 +13,37 @@ Golden-reference attribution (every cycle, every instruction -- the
 paper's unimplementable baseline) is built into the core; statistical
 samplers from :mod:`repro.core.samplers` attach on top and observe the
 same cycles, mirroring the paper's out-of-band TraceDoctor methodology.
+
+Hot-loop organisation (PR 2)
+----------------------------
+The per-cycle loop is the throughput bottleneck of every experiment, so
+it is written for speed under CPython:
+
+* Sampler polling is event-scheduled: sampler ``next_due`` cycles live
+  on a small min-heap (:attr:`Core._sampler_heap`), so :meth:`step` does
+  one integer compare per cycle instead of iterating every sampler, and
+  :meth:`_fast_forward` drains the heap up to the skip horizon instead
+  of replay-looping each sampler.
+* Golden attribution accumulates into a flat per-instruction array for
+  event-free (``psv == 0``) cycles plus a dict for evented signatures,
+  folded into :attr:`Core.golden_raw` at :meth:`_finish`. Per-key float
+  addition order is unchanged, so folded profiles are bit-identical to
+  the dict-of-tuples path.
+* Config scalars (which include per-call dict-building properties like
+  ``issue_width``) and instance attributes used per cycle are hoisted
+  into locals or precomputed in ``__init__``.
+
+``reference_loop=True`` selects the frozen pre-optimisation loop
+(linear sampler polling, direct dict accumulation). It exists for the
+A/B harness (:mod:`repro.engine.benchmark`) and equivalence tests that
+pin the optimised loop to bit-identical golden and sampler profiles.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import Counter, deque
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush, heapreplace
 from typing import Iterable, Iterator
 
 from repro.branch.predictor import BranchPredictor
@@ -28,7 +52,7 @@ from repro.core.pics import PicsProfile
 from repro.core.states import CommitState
 from repro.isa.instructions import INST_BYTES, NO_REG, DynInst
 from repro.isa.interpreter import ArchState, Interpreter
-from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.isa.opcodes import Opcode, OpClass, op_class
 from repro.isa.program import Program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.config import CoreConfig
@@ -48,6 +72,16 @@ _BIT_FL_MO = 1 << Event.FL_MO
 _BIT_ST_L1 = 1 << Event.ST_L1
 _BIT_ST_TLB = 1 << Event.ST_TLB
 _BIT_ST_LLC = 1 << Event.ST_LLC
+
+# Commit states bound to module level (dodges enum attribute lookups in
+# the per-cycle loop).
+_COMPUTE = CommitState.COMPUTE
+_STALLED = CommitState.STALLED
+_DRAINED = CommitState.DRAINED
+_FLUSHED = CommitState.FLUSHED
+
+#: Shared empty commit group for no-commit cycles (never mutated).
+_NO_UOPS: list = []
 
 
 class SimulationError(RuntimeError):
@@ -139,6 +173,10 @@ class Core:
             Disabling it steps every cycle individually -- much slower
             but byte-identical in results; the property tests verify
             that equivalence.
+        reference_loop: Run the frozen pre-optimisation per-cycle loop
+            (linear sampler polling, dict-of-tuples golden accumulation).
+            Slower; used by the A/B harness and equivalence tests to pin
+            the optimised hot loop to bit-identical results.
     """
 
     def __init__(
@@ -151,9 +189,11 @@ class Core:
         fast_forward: bool = True,
         cycle_trace=None,
         hierarchy: MemoryHierarchy | None = None,
+        reference_loop: bool = False,
     ) -> None:
         self.program = program
         self.fast_forward = fast_forward
+        self.reference_loop = reference_loop
         #: Optional TraceDoctor-style sink (repro.trace.CycleTrace).
         self.cycle_trace = cycle_trace
         self.config = config or CoreConfig()
@@ -165,6 +205,26 @@ class Core:
         self._queue_by_op = {
             op: self.config.queue_of(op_class(op)) for op in Opcode
         }
+        self._class_by_op = {op: op_class(op) for op in Opcode}
+        # Static-instruction register operands, precomputed per program
+        # index (StaticInst.sources() builds a fresh tuple per call --
+        # far too hot for the rename stage).
+        self._sources_by_index: list[tuple[int, ...]] = [
+            inst.sources() for inst in program
+        ]
+        # Per-program-index fetch metadata: issue queue, op class, and
+        # whether _handle_control has anything to do for the µop.
+        self._queue_by_index: list[str] = [
+            self._queue_by_op[inst.op] for inst in program
+        ]
+        self._class_by_index: list[OpClass] = [
+            self._class_by_op[inst.op] for inst in program
+        ]
+        self._control_by_index: list[bool] = [
+            self._class_by_op[inst.op] is OpClass.BRANCH
+            or inst.op in (Opcode.JUMP, Opcode.CALL, Opcode.RET)
+            for inst in program
+        ]
         self._interp = Interpreter(program, arch_state, max_insts)
         self._source: Iterator[DynInst] = self._interp.run()
         self._source_done = False
@@ -194,6 +254,31 @@ class Core:
             OpClass.FP_SQRT: 0,
         }
 
+        # Hoisted configuration. ``issue_width``/``queue_capacity`` are
+        # dict-building properties -- never touch them per cycle.
+        cfg = self.config
+        self._commit_width = cfg.commit_width
+        self._decode_width = cfg.decode_width
+        self._rob_entries = cfg.rob_entries
+        self._frontend_depth = cfg.frontend_depth
+        self._fetch_width = cfg.fetch_width
+        self._fetch_buffer_entries = cfg.fetch_buffer_entries
+        self._lq_entries = cfg.load_queue_entries
+        self._sq_entries = cfg.store_queue_entries
+        self._redirect_penalty = cfg.redirect_penalty
+        self._btb_miss_penalty = cfg.btb_miss_penalty
+        self._latencies = cfg.latencies
+        self._unpipelined = cfg.unpipelined
+        self._line_bytes = cfg.memory.line_bytes
+        self._iq_cap = cfg.queue_capacity
+        #: (queue name, ready heap, issue width), in config order.
+        self._issue_plan = [
+            (name, self._ready[name], width)
+            for name, width in cfg.issue_width.items()
+        ]
+        #: Just the heaps, for the per-cycle issue guard in step().
+        self._issue_queues = tuple(q for _, q, _ in self._issue_plan)
+
         # Fetch state.
         self._fetch_stall_until = 0
         self._current_fetch_line = -1
@@ -209,8 +294,13 @@ class Core:
         self._empty_is_flush = False
         self._last_committed: tuple[int, int] | None = None
 
-        # Golden attribution and statistics.
+        # Golden attribution and statistics. The optimised loop splits
+        # accumulation: event-free cycles go to the flat per-instruction
+        # array, evented signatures to the dict; _finish() folds both
+        # into golden_raw. The reference loop writes golden_raw directly.
         self.golden_raw: dict[tuple[int, int], float] = {}
+        self._golden_base: list[float] = [0.0] * len(program)
+        self._golden_ev: dict[tuple[int, int], float] = {}
         self._pending_drain = 0.0
         self._drain_waiters: list[tuple] = []
         self._dispatch_tag_waiters: list[tuple] = []
@@ -224,10 +314,17 @@ class Core:
             state: 0 for state in CommitState
         }
         self.stall_histogram: Counter = Counter()
+        # PSV value -> tuple of set event-bit numbers (see _commit).
+        self._psv_bits_cache: dict[int, tuple[int, ...]] = {}
         self.evented_execs = 0
         self.combined_execs = 0
         self.flushes = FlushStats()
         self.committed_total = 0
+
+        # Sampler due-cycle heap (rebuilt by start(); built here too so
+        # manually-stepped cores sample without an explicit start()).
+        self._sampler_heap: list[tuple[int, int, object]] = []
+        self._build_sampler_heap()
 
     # ==================================================================
     # Dynamic-instruction stream with replay (for flush re-fetch).
@@ -268,6 +365,31 @@ class Core:
         """Tag the next µop to be fetched (RIS-style)."""
         self._fetch_tag_waiters.append((sampler, weight))
 
+    def _build_sampler_heap(self) -> None:
+        """(Re)build the due-cycle heap from the attached samplers.
+
+        The heap index breaks due-cycle ties by sampler attach order.
+        Cross-sampler interleaving within one polled window does not
+        change any per-sampler result: each sampler owns its RNG and raw
+        accumulator, and the core state they observe is read-only to
+        them -- the A/B equivalence tests pin this down.
+        """
+        heap = [
+            (sampler.next_due, index, sampler)
+            for index, sampler in enumerate(self.samplers)
+        ]
+        heapify(heap)
+        self._sampler_heap = heap
+
+    def _poll_samplers(self, horizon: int) -> None:
+        """Fire every sampler whose due cycle is at or before *horizon*."""
+        sheap = self._sampler_heap
+        while sheap and sheap[0][0] <= horizon:
+            _due, index, sampler = sheap[0]
+            sampler.sample(self)
+            sampler.advance()
+            heapreplace(sheap, (sampler.next_due, index, sampler))
+
     # ==================================================================
     # Main loop.
     # ==================================================================
@@ -275,6 +397,7 @@ class Core:
         """Initialise attached samplers (once, before stepping)."""
         for sampler in self.samplers:
             sampler.start(self)
+        self._build_sampler_heap()
 
     def active(self) -> bool:
         """True while the program has not finished executing."""
@@ -290,25 +413,91 @@ class Core:
                 multicore systems use it to bound clock skew between
                 lock-stepped cores sharing an LLC.
         """
-        self.cycle += 1
-        cycle = self.cycle
+        if self.reference_loop:
+            self._step_reference(horizon)
+            return
+        cycle = self.cycle + 1
+        self.cycle = cycle
 
-        progressed = self._process_events()
-        committed = self._commit()
-        state = self._classify(committed)
+        events = self._events
+        if events and events[0][0] <= cycle:
+            progressed = self._process_events()
+        else:
+            progressed = False
+
+        rob = self.rob
+        committed = _NO_UOPS
+        if rob:
+            head = rob[0]
+            if head.complete and head.complete_time <= cycle:
+                committed = self._commit()
+
+        # Classify (inlined _classify) and attribute (inlined
+        # _attribute for n=1); exactly mirrors the reference loop.
+        if committed:
+            state = _COMPUTE
+            progressed = True
+        elif rob:
+            self.rob_head = rob[0]
+            state = _STALLED
+        else:
+            self.rob_head = None
+            state = _FLUSHED if self._empty_is_flush else _DRAINED
         self.commit_state = state
         self.committing_now = committed
-        self._attribute(state, 1, committed)
-        for sampler in self.samplers:
-            while sampler.next_due <= cycle:
-                sampler.sample(self)
-                sampler.advance()
 
-        progressed |= bool(committed)
-        progressed |= self._issue()
-        progressed |= self._dispatch()
-        progressed |= self._fetch()
-        progressed |= self._start_drain()
+        self.state_cycles[state] += 1
+        if state is _COMPUTE:
+            share = 1.0 / len(committed)
+            base = self._golden_base
+            ev = self._golden_ev
+            for uop in committed:
+                psv = uop.psv
+                if psv:
+                    key = (uop.index, psv)
+                    ev[key] = ev.get(key, 0.0) + share
+                else:
+                    base[uop.index] += share
+        else:
+            if self.cycle_trace is not None:
+                self.cycle_trace.on_cycles(
+                    state, 1, rob[0].seq if state is _STALLED else -1
+                )
+            if state is _STALLED:
+                rob[0].exposed_stall += 1
+            elif state is _DRAINED:
+                self._pending_drain += 1
+            else:  # FLUSHED
+                index, psv = self.flush_blame
+                if psv:
+                    ev = self._golden_ev
+                    key = (index, psv)
+                    ev[key] = ev.get(key, 0.0) + 1
+                else:
+                    self._golden_base[index] += 1
+
+        sheap = self._sampler_heap
+        if sheap and sheap[0][0] <= cycle:
+            self._poll_samplers(cycle)
+
+        # Stage guards: each call is skipped when its first internal
+        # check would bail anyway (the bodies re-check, so the guards
+        # are pure call-avoidance).
+        for queue in self._issue_queues:
+            if queue and queue[0][0] <= cycle:
+                progressed |= self._issue()
+                break
+        fb = self.fetch_buffer
+        if fb and cycle >= fb[0].fetch_cycle + self._frontend_depth:
+            progressed |= self._dispatch()
+        if (
+            self._waiting_branch is None
+            and cycle >= self._fetch_stall_until
+            and len(self.fetch_buffer) < self._fetch_buffer_entries
+        ):
+            progressed |= self._fetch()
+        if self._drain_queue and cycle >= self._drain_port_free:
+            progressed |= self._start_drain()
 
         if not progressed and self.fast_forward:
             self._fast_forward(state, horizon)
@@ -320,12 +509,14 @@ class Core:
             SimulationError: On deadlock or when *max_cycles* is exceeded.
         """
         self.start()
-        while self.active():
+        step = self.step
+        active = self.active
+        while active():
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: exceeded {max_cycles} cycles"
                 )
-            self.step()
+            step()
         self._finish()
         return self.result()
 
@@ -335,6 +526,7 @@ class Core:
 
     def result(self) -> CoreResult:
         """Package the current statistics into a :class:`CoreResult`."""
+        self._fold_golden()
         return CoreResult(
             program=self.program,
             cycles=self.cycle,
@@ -352,6 +544,24 @@ class Core:
             state_cycles=dict(self.state_cycles),
         )
 
+    def _fold_golden(self) -> None:
+        """Fold the flat accumulators into :attr:`golden_raw`.
+
+        A pure snapshot (assignments, not additions), so it is
+        idempotent and safe to call at any point; per-key values carry
+        the exact float-addition order of the accumulation sites. The
+        reference loop accumulates into golden_raw directly, leaving
+        both flat structures empty.
+        """
+        raw = self.golden_raw
+        for key, value in self._golden_ev.items():
+            raw[key] = value
+        base = self._golden_base
+        for index in range(len(base)):
+            value = base[index]
+            if value:
+                raw[(index, 0)] = value
+
     def _finish(self) -> None:
         """Resolve leftover deferred samples and notify samplers."""
         if self._drain_waiters and self._last_committed is not None:
@@ -365,6 +575,7 @@ class Core:
             sampler.drop()
         self._dispatch_tag_waiters.clear()
         self._fetch_tag_waiters.clear()
+        self._fold_golden()
         for sampler in self.samplers:
             sampler.finish(self)
 
@@ -373,87 +584,75 @@ class Core:
     ) -> None:
         """Jump to the next event, attributing skipped idle cycles."""
         cycle = self.cycle
-        candidates: list[int] = []
-        if self._events:
-            candidates.append(self._events[0][0])
-        if self.fetch_buffer:
-            candidates.append(
-                self.fetch_buffer[0].fetch_cycle + self.config.frontend_depth
-            )
+        # Track the minimum future candidate directly (no list builds).
+        target = -1
+        events = self._events
+        if events:
+            c = events[0][0]
+            if c > cycle:
+                target = c
+        fb = self.fetch_buffer
+        if fb:
+            c = fb[0].fetch_cycle + self._frontend_depth
+            if c > cycle and (target < 0 or c < target):
+                target = c
         if (
             self._waiting_branch is None
+            and len(fb) < self._fetch_buffer_entries
             and not self._stream_empty()
-            and len(self.fetch_buffer) < self.config.fetch_buffer_entries
         ):
-            candidates.append(self._fetch_stall_until)
+            c = self._fetch_stall_until
+            if c > cycle and (target < 0 or c < target):
+                target = c
         if self._drain_queue:
-            candidates.append(self._drain_port_free)
-        for queue in self._ready.values():
+            c = self._drain_port_free
+            if c > cycle and (target < 0 or c < target):
+                target = c
+        for _name, queue, _width in self._issue_plan:
             if queue:
-                candidates.append(queue[0][0])
-        for free_time in self._unit_free.values():
-            if free_time > cycle:
-                candidates.append(free_time)
-        future = [c for c in candidates if c > cycle]
-        if not future:
+                c = queue[0][0]
+                if c > cycle and (target < 0 or c < target):
+                    target = c
+        for c in self._unit_free.values():
+            if c > cycle and (target < 0 or c < target):
+                target = c
+        if target < 0:
             raise SimulationError(
                 f"{self.program.name}: deadlock at cycle {cycle} "
                 f"(rob={len(self.rob)}, fb={len(self.fetch_buffer)}, "
                 f"state={state.name})"
             )
-        target = min(future)
         if cap is not None:
             target = min(target, max(cap, cycle + 1))
         skip = target - cycle - 1
         if skip <= 0:
             return
-        self._attribute(state, skip, [])
+        self._attribute_skip(state, skip)
         horizon = cycle + skip
-        for sampler in self.samplers:
-            while sampler.next_due <= horizon:
-                sampler.sample(self)
-                sampler.advance()
+        sheap = self._sampler_heap
+        if sheap and sheap[0][0] <= horizon:
+            self._poll_samplers(horizon)
         self.cycle = horizon
 
-    # ==================================================================
-    # Commit-state classification and golden attribution.
-    # ==================================================================
-    def _classify(self, committed: list[Uop]) -> CommitState:
-        if committed:
-            return CommitState.COMPUTE
-        if self.rob:
-            self.rob_head = self.rob[0]
-            return CommitState.STALLED
-        self.rob_head = None
-        if self._empty_is_flush:
-            return CommitState.FLUSHED
-        return CommitState.DRAINED
-
-    def _attribute(
-        self, state: CommitState, n: int, committed: list[Uop]
-    ) -> None:
+    def _attribute_skip(self, state: CommitState, n: int) -> None:
+        """Attribute *n* fast-forwarded cycles (state never COMPUTE)."""
         self.state_cycles[state] += n
-        if (
-            self.cycle_trace is not None
-            and state != CommitState.COMPUTE
-        ):
-            head_seq = (
-                self.rob[0].seq if state == CommitState.STALLED else -1
+        if self.cycle_trace is not None:
+            self.cycle_trace.on_cycles(
+                state, n, self.rob[0].seq if state is _STALLED else -1
             )
-            self.cycle_trace.on_cycles(state, n, head_seq)
-        if state == CommitState.COMPUTE:
-            share = 1.0 / len(committed)
-            raw = self.golden_raw
-            for uop in committed:
-                key = (uop.index, uop.psv)
-                raw[key] = raw.get(key, 0.0) + share
-        elif state == CommitState.STALLED:
+        if state is _STALLED:
             self.rob[0].exposed_stall += n
-        elif state == CommitState.DRAINED:
+        elif state is _DRAINED:
             self._pending_drain += n
-        else:  # FLUSHED
-            key = self.flush_blame
-            self.golden_raw[key] = self.golden_raw.get(key, 0.0) + n
+        elif state is _FLUSHED:
+            index, psv = self.flush_blame
+            if psv:
+                ev = self._golden_ev
+                key = (index, psv)
+                ev[key] = ev.get(key, 0.0) + n
+            else:
+                self._golden_base[index] += n
 
     # ==================================================================
     # Commit stage.
@@ -461,8 +660,8 @@ class Core:
     def _commit(self) -> list[Uop]:
         rob = self.rob
         cycle = self.cycle
-        committed: list[Uop] = []
-        budget = self.config.commit_width
+        committed: list[Uop] | None = None
+        budget = self._commit_width
         flushed = False
         while budget and rob:
             head = rob[0]
@@ -470,7 +669,10 @@ class Core:
                 break
             rob.popleft()
             head.committed = True
-            committed.append(head)
+            if committed is None:
+                committed = [head]
+            else:
+                committed.append(head)
             budget -= 1
             if head.is_load:
                 self._lq_occ -= 1
@@ -484,48 +686,84 @@ class Core:
                     self._squash_younger_than(head.seq)
                     self._fetch_stall_until = max(
                         self._fetch_stall_until,
-                        cycle + self.config.redirect_penalty,
+                        cycle + self._redirect_penalty,
                     )
                 flushed = True
                 break
-        if committed:
-            raw = self.golden_raw
-            last = committed[-1]
-            # Drained cycles go to the next-committing instruction.
-            first = committed[0]
-            if self._pending_drain:
-                key = (first.index, first.psv)
-                raw[key] = raw.get(key, 0.0) + self._pending_drain
-                self._pending_drain = 0.0
-            if self._drain_waiters:
-                for sampler, weight in self._drain_waiters:
-                    sampler.capture(
-                        first.index, first.psv, weight, cycle=cycle
-                    )
-                self._drain_waiters.clear()
-            for uop in committed:
-                key = (uop.index, uop.psv)
-                if uop.exposed_stall:
-                    raw[key] = raw.get(key, 0.0) + uop.exposed_stall
-                if uop.pending_samples:
-                    for sampler, weight in uop.pending_samples:
-                        sampler.capture(
-                            uop.index, uop.psv, weight, cycle=cycle
-                        )
-                    uop.pending_samples.clear()
-                self._account_commit(uop)
-            self.committed_total += len(committed)
-            if self.cycle_trace is not None:
-                self.cycle_trace.on_commit(
-                    [(u.seq, u.index, u.psv) for u in committed]
+        if committed is None:
+            return _NO_UOPS
+        base = self._golden_base
+        ev = self._golden_ev
+        # Drained cycles go to the next-committing instruction.
+        first = committed[0]
+        if self._pending_drain:
+            psv = first.psv
+            if psv:
+                key = (first.index, psv)
+                ev[key] = ev.get(key, 0.0) + self._pending_drain
+            else:
+                base[first.index] += self._pending_drain
+            self._pending_drain = 0.0
+        if self._drain_waiters:
+            for sampler, weight in self._drain_waiters:
+                sampler.capture(
+                    first.index, first.psv, weight, cycle=cycle
                 )
-            self._last_committed = (last.index, last.psv)
-            self._empty_is_flush = flushed or last.causes_flush
-            if self._empty_is_flush:
-                self.flush_blame = (last.index, last.psv)
+            self._drain_waiters.clear()
+        exec_counts = self.exec_counts
+        event_counts = self.event_counts
+        stall_histogram = self.stall_histogram
+        psv_bits_cache = self._psv_bits_cache
+        for uop in committed:
+            index = uop.index
+            psv = uop.psv
+            stall = uop.exposed_stall
+            if stall:
+                if psv:
+                    key = (index, psv)
+                    ev[key] = ev.get(key, 0.0) + stall
+                else:
+                    base[index] += stall
+            if uop.pending_samples:
+                for sampler, weight in uop.pending_samples:
+                    sampler.capture(index, psv, weight, cycle=cycle)
+                uop.pending_samples.clear()
+            # Per-commit statistics (_account_commit, inlined; the PSV
+            # bit decomposition is cached -- few distinct PSVs recur).
+            exec_counts[index] = exec_counts.get(index, 0) + 1
+            if psv:
+                self.evented_execs += 1
+                bit_nums = psv_bits_cache.get(psv)
+                if bit_nums is None:
+                    bits = psv
+                    decomposed = []
+                    while bits:
+                        low = bits & -bits
+                        decomposed.append(low.bit_length() - 1)
+                        bits ^= low
+                    bit_nums = tuple(decomposed)
+                    psv_bits_cache[psv] = bit_nums
+                for bit_num in bit_nums:
+                    ekey = (index, bit_num)
+                    event_counts[ekey] = event_counts.get(ekey, 0) + 1
+                if len(bit_nums) >= 2:
+                    self.combined_execs += 1
+            elif stall:
+                stall_histogram[stall] += 1
+        self.committed_total += len(committed)
+        if self.cycle_trace is not None:
+            self.cycle_trace.on_commit(
+                [(u.seq, u.index, u.psv) for u in committed]
+            )
+        last = committed[-1]
+        self._last_committed = (last.index, last.psv)
+        self._empty_is_flush = flushed or last.causes_flush
+        if self._empty_is_flush:
+            self.flush_blame = (last.index, last.psv)
         return committed
 
     def _account_commit(self, uop: Uop) -> None:
+        """Per-commit statistics (reference loop; inlined in _commit)."""
         index = uop.index
         self.exec_counts[index] = self.exec_counts.get(index, 0) + 1
         psv = uop.psv
@@ -551,9 +789,10 @@ class Core:
     def _process_events(self) -> bool:
         events = self._events
         cycle = self.cycle
+        ready = self._ready
         progressed = False
         while events and events[0][0] <= cycle:
-            time, _uid, kind, uop = heapq.heappop(events)
+            time, _uid, kind, uop = heappop(events)
             progressed = True
             if kind == _EV_SQ_FREE:
                 self._sq_occ -= 1
@@ -563,20 +802,22 @@ class Core:
                 continue
             uop.complete = True
             uop.complete_time = time
-            for dep in uop.dependents:
-                if dep.squashed or not dep.dispatched:
-                    continue
-                dep.deps_remaining -= 1
-                if dep.deps_remaining == 0:
-                    heapq.heappush(
-                        self._ready[dep.queue], (time, dep.uid, dep)
-                    )
-            uop.dependents.clear()
+            dependents = uop.dependents
+            if dependents:
+                for dep in dependents:
+                    if dep.squashed or not dep.dispatched:
+                        continue
+                    dep.deps_remaining -= 1
+                    if dep.deps_remaining == 0:
+                        heappush(
+                            ready[dep.queue], (time, dep.uid, dep)
+                        )
+                dependents.clear()
             if uop.mispredicted and self._waiting_branch is uop:
                 self._waiting_branch = None
                 self._fetch_stall_until = max(
                     self._fetch_stall_until,
-                    time + self.config.redirect_penalty,
+                    time + self._redirect_penalty,
                 )
                 self._current_fetch_line = -1
         return progressed
@@ -587,12 +828,13 @@ class Core:
     def _issue(self) -> bool:
         cycle = self.cycle
         issued_any = False
-        for queue_name, width in self.config.issue_width.items():
-            queue = self._ready[queue_name]
+        for _name, queue, width in self._issue_plan:
+            if not queue or queue[0][0] > cycle:
+                continue
             budget = width
             deferred: list[tuple[int, int, Uop]] = []
             while budget and queue and queue[0][0] <= cycle:
-                _rt, uid, uop = heapq.heappop(queue)
+                _rt, uid, uop = heappop(queue)
                 if uop.squashed:
                     continue
                 retry = self._try_execute(uop)
@@ -602,27 +844,26 @@ class Core:
                 budget -= 1
                 issued_any = True
             for entry in deferred:
-                heapq.heappush(queue, entry)
+                heappush(queue, entry)
         return issued_any
 
     def _try_execute(self, uop: Uop) -> int | None:
         """Execute *uop* now; return a retry time if it cannot issue yet."""
         cycle = self.cycle
-        op_class = uop.op_class
-        cfg = self.config
+        op_cls = uop.op_class
 
-        if op_class == OpClass.SERIAL and (
+        if op_cls == OpClass.SERIAL and (
             not self.rob or self.rob[0] is not uop
         ):
             # Serializing ops execute non-speculatively at the ROB head.
             return cycle + 1
 
-        if op_class in cfg.unpipelined:
-            free = self._unit_free[op_class]
+        unpipelined = op_cls in self._unpipelined
+        if unpipelined:
+            free = self._unit_free[op_cls]
             if free > cycle:
                 return free
 
-        uop.issue_cycle = cycle
         uop.in_iq = False
         self._iq_occ[uop.queue] -= 1
 
@@ -630,14 +871,14 @@ class Core:
             completion = self._execute_load(uop)
         elif uop.is_store:
             completion = self._execute_store(uop)
-        elif op_class == OpClass.PREFETCH:
+        elif op_cls == OpClass.PREFETCH:
             self.hierarchy.prefetch(uop.eff_addr, cycle)
-            completion = cycle + cfg.latencies[OpClass.PREFETCH]
+            completion = cycle + self._latencies[OpClass.PREFETCH]
         else:
-            completion = cycle + cfg.latencies[op_class]
-            if op_class in cfg.unpipelined:
-                self._unit_free[op_class] = completion
-        heapq.heappush(
+            completion = cycle + self._latencies[op_cls]
+            if unpipelined:
+                self._unit_free[op_cls] = completion
+        heappush(
             self._events, (completion, uop.uid, _EV_COMPLETE, uop)
         )
         return None
@@ -657,6 +898,9 @@ class Core:
         if best is not None:
             uop.forwarded = True
             return cycle + 1
+        ready = self.hierarchy.load_fast(addr, cycle)
+        if ready is not None:
+            return ready if ready > cycle else cycle + 1
         access = self.hierarchy.access_load(addr, cycle)
         if access.l1_miss:
             uop.psv |= _BIT_ST_L1
@@ -664,7 +908,8 @@ class Core:
             uop.psv |= _BIT_ST_LLC
         if access.tlb_miss:
             uop.psv |= _BIT_ST_TLB
-        return max(access.ready_time, cycle + 1)
+        ready = access.ready_time
+        return ready if ready > cycle else cycle + 1
 
     def _execute_store(self, uop: Uop) -> int:
         cycle = self.cycle
@@ -687,35 +932,37 @@ class Core:
             self._squash_younger_than(violator.seq - 1)
             self._fetch_stall_until = max(
                 self._fetch_stall_until,
-                cycle + self.config.redirect_penalty,
+                cycle + self._redirect_penalty,
             )
-        return cycle + tlb.latency + self.config.latencies[OpClass.STORE]
+        return cycle + tlb.latency + self._latencies[OpClass.STORE]
 
     # ==================================================================
     # Dispatch.
     # ==================================================================
     def _dispatch(self) -> bool:
         cycle = self.cycle
-        cfg = self.config
         fb = self.fetch_buffer
         rob = self.rob
         iq_occ = self._iq_occ
-        iq_cap = cfg.queue_capacity
-        budget = cfg.decode_width
+        iq_cap = self._iq_cap
+        rob_entries = self._rob_entries
+        frontend_depth = self._frontend_depth
+        budget = self._decode_width
         progressed = False
-        dispatched: list[Uop] = []
+        tag_waiters = self._dispatch_tag_waiters
+        dispatched: list[Uop] | None = [] if tag_waiters else None
         while budget and fb:
             uop = fb[0]
-            if cycle < uop.fetch_cycle + cfg.frontend_depth:
+            if cycle < uop.fetch_cycle + frontend_depth:
                 break
-            if len(rob) >= cfg.rob_entries:
+            if len(rob) >= rob_entries:
                 break
             if iq_occ[uop.queue] >= iq_cap[uop.queue]:
                 break
-            if uop.is_load and self._lq_occ >= cfg.load_queue_entries:
+            if uop.is_load and self._lq_occ >= self._lq_entries:
                 break
             if uop.is_store:
-                if self._sq_occ >= cfg.store_queue_entries:
+                if self._sq_occ >= self._sq_entries:
                     # DR-SQ: the store stalls at dispatch because the LSQ
                     # is full of completed but not yet retired stores.
                     uop.psv |= _BIT_DR_SQ
@@ -725,44 +972,52 @@ class Core:
                 self._lq_occ += 1
             fb.popleft()
             uop.dispatched = True
-            uop.dispatch_cycle = cycle
             rob.append(uop)
             iq_occ[uop.queue] += 1
             uop.in_iq = True
             self._rename(uop)
-            dispatched.append(uop)
+            if dispatched is not None:
+                dispatched.append(uop)
             budget -= 1
             progressed = True
-        if dispatched and self._dispatch_tag_waiters:
+        if dispatched:
             # Hardware taggers mark one dispatch slot of the tag cycle;
             # model the slot choice as uniform over this cycle's group.
-            for sampler, weight in self._dispatch_tag_waiters:
+            for sampler, weight in tag_waiters:
                 target = sampler.rng.choice(dispatched)
-                target.pending_samples.append((sampler, weight))
-            self._dispatch_tag_waiters.clear()
+                pend = target.pending_samples
+                if pend is None:
+                    target.pending_samples = [(sampler, weight)]
+                else:
+                    pend.append((sampler, weight))
+            tag_waiters.clear()
         return progressed
 
     def _rename(self, uop: Uop) -> None:
-        static = uop.static
+        last_writer = self._last_writer
         deps = 0
-        for reg in static.sources():
+        for reg in self._sources_by_index[uop.index]:
             if reg == 0:
                 continue  # x0 is hard-wired to zero
-            producer = self._last_writer.get(reg)
+            producer = last_writer.get(reg)
             if (
                 producer is not None
                 and not producer.complete
                 and not producer.squashed
             ):
-                producer.dependents.append(uop)
+                deps_list = producer.dependents
+                if deps_list is None:
+                    producer.dependents = [uop]
+                else:
+                    deps_list.append(uop)
                 deps += 1
-        rd = static.rd
+        rd = uop.static.rd
         if rd != NO_REG and rd != 0:
-            uop.prev_writer = self._last_writer.get(rd)
-            self._last_writer[rd] = uop
+            uop.prev_writer = last_writer.get(rd)
+            last_writer[rd] = uop
         uop.deps_remaining = deps
         if deps == 0:
-            heapq.heappush(
+            heappush(
                 self._ready[uop.queue], (self.cycle + 1, uop.uid, uop)
             )
 
@@ -771,76 +1026,104 @@ class Core:
     # ==================================================================
     def _fetch(self) -> bool:
         cycle = self.cycle
-        cfg = self.config
         if self._waiting_branch is not None:
             return False
         if cycle < self._fetch_stall_until:
             return False
         fb = self.fetch_buffer
-        line_bytes = cfg.memory.line_bytes
-        budget = cfg.fetch_width
+        fb_entries = self._fetch_buffer_entries
+        line_bytes = self._line_bytes
+        hierarchy = self.hierarchy
+        replay = self._replay
+        budget = self._fetch_width
         progressed = False
-        fetched: list[Uop] = []
-        while budget and len(fb) < cfg.fetch_buffer_entries:
-            dyn = self._peek_dyn()
-            if dyn is None:
+        tag_waiters = self._fetch_tag_waiters
+        fetched: list[Uop] | None = [] if tag_waiters else None
+        source = self._source
+        queue_by_index = self._queue_by_index
+        class_by_index = self._class_by_index
+        control_by_index = self._control_by_index
+        mo_seqs = self._mo_seqs
+        while budget and len(fb) < fb_entries:
+            # Consume the stream directly (peek + popleft churns the
+            # replay deque once per instruction); an icache stall pushes
+            # the instruction back instead.
+            if replay:
+                dyn = replay.popleft()
+            elif self._source_done:
                 break
-            addr = dyn.static.index * INST_BYTES
+            else:
+                try:
+                    dyn = next(source)
+                except StopIteration:
+                    self._source_done = True
+                    break
+            index = dyn.static.index
+            addr = index * INST_BYTES
             line = addr // line_bytes
             if line != self._current_fetch_line:
-                access = self.hierarchy.access_inst(addr, cycle)
+                ready = hierarchy.inst_fast(addr, cycle)
+                if ready is None:
+                    access = hierarchy.access_inst(addr, cycle)
+                    ready = access.ready_time
+                    icache_miss = access.icache_miss
+                    itlb_miss = access.itlb_miss
+                else:
+                    icache_miss = itlb_miss = False
                 self._current_fetch_line = line
-                if access.ready_time > cycle:
-                    self._fetch_stall_until = access.ready_time
+                if ready > cycle:
+                    self._fetch_stall_until = ready
                     psv_bits = 0
-                    if access.icache_miss:
+                    if icache_miss:
                         psv_bits |= _BIT_DR_L1
-                    if access.itlb_miss:
+                    if itlb_miss:
                         psv_bits |= _BIT_DR_TLB
                     self._pending_fetch_psv |= psv_bits
+                    replay.appendleft(dyn)
                     break
-            self._consume_dyn()
-            uop = self._make_uop(dyn, cycle)
+            # _make_uop, inlined (rare-condition checks guarded).
+            op_cls = class_by_index[index]
+            uop = Uop(dyn, cycle, queue_by_index[index], op_cls)
+            if self._pending_fetch_psv:
+                uop.psv |= self._pending_fetch_psv
+                self._pending_fetch_psv = 0
+            if mo_seqs and dyn.seq in mo_seqs:
+                mo_seqs.discard(dyn.seq)
+                uop.psv |= _BIT_FL_MO
+            if op_cls is OpClass.SERIAL:
+                # fsflags/frflags-style ops always flush; statically known.
+                uop.psv |= _BIT_FL_EX
+                uop.causes_flush = True
             fb.append(uop)
-            fetched.append(uop)
+            if fetched is not None:
+                fetched.append(uop)
             progressed = True
             budget -= 1
-            if not self._handle_control(uop):
+            if control_by_index[index] and not self._handle_control(uop):
                 break  # fetch redirect or mispredict stall
-        if fetched and self._fetch_tag_waiters:
-            for sampler, weight in self._fetch_tag_waiters:
+        if fetched:
+            for sampler, weight in tag_waiters:
                 target = sampler.rng.choice(fetched)
-                target.pending_samples.append((sampler, weight))
-            self._fetch_tag_waiters.clear()
+                pend = target.pending_samples
+                if pend is None:
+                    target.pending_samples = [(sampler, weight)]
+                else:
+                    pend.append((sampler, weight))
+            tag_waiters.clear()
         return progressed
-
-    def _make_uop(self, dyn: DynInst, cycle: int) -> Uop:
-        uop = Uop(dyn, cycle, self._queue_by_op[dyn.static.op])
-        if self._pending_fetch_psv:
-            uop.psv |= self._pending_fetch_psv
-            self._pending_fetch_psv = 0
-        if dyn.seq in self._mo_seqs:
-            self._mo_seqs.discard(dyn.seq)
-            uop.psv |= _BIT_FL_MO
-        if uop.op_class == OpClass.SERIAL:
-            # fsflags/frflags-style ops always flush; statically known.
-            uop.psv |= _BIT_FL_EX
-            uop.causes_flush = True
-        return uop
 
     def _handle_control(self, uop: Uop) -> bool:
         """Predict a fetched control µop; False ends this fetch packet."""
         op = uop.static.op
-        op_class = uop.op_class
+        op_cls = uop.op_class
         cycle = self.cycle
-        if op_class == OpClass.BRANCH:
+        predictor = self.predictor
+        if op_cls == OpClass.BRANCH:
             pc = uop.index
-            predicted = self.predictor.predict_direction(pc)
+            predicted = predictor.predict_direction(pc)
             actual = uop.dyn.taken
-            target_known = (
-                self.predictor.predict_target(pc) is not None
-            )
-            self.predictor.update(pc, actual, uop.dyn.next_index)
+            target_known = predictor.predict_target(pc) is not None
+            predictor.update(pc, actual, uop.dyn.next_index)
             if predicted != actual:
                 uop.mispredicted = True
                 uop.causes_flush = True
@@ -852,24 +1135,24 @@ class Core:
                 self._current_fetch_line = -1
                 if not target_known:
                     self._fetch_stall_until = (
-                        cycle + self.config.btb_miss_penalty
+                        cycle + self._btb_miss_penalty
                     )
                 return False
             return True
         if op == Opcode.JUMP or op == Opcode.CALL:
             pc = uop.index
-            target_known = self.predictor.predict_target(pc) is not None
-            self.predictor.update(pc, True, uop.dyn.next_index)
+            target_known = predictor.predict_target(pc) is not None
+            predictor.update(pc, True, uop.dyn.next_index)
             if op == Opcode.CALL:
-                self.predictor.push_return(uop.index + 1)
+                predictor.push_return(uop.index + 1)
             self._current_fetch_line = -1
             if not target_known:
                 self._fetch_stall_until = (
-                    cycle + self.config.btb_miss_penalty
+                    cycle + self._btb_miss_penalty
                 )
             return False
         if op == Opcode.RET:
-            predicted = self.predictor.predict_return()
+            predicted = predictor.predict_return()
             actual = uop.dyn.next_index
             if predicted != actual:
                 uop.mispredicted = True
@@ -914,9 +1197,11 @@ class Core:
                             self._last_writer[rd] = uop.prev_writer
                         else:
                             del self._last_writer[rd]
-            for sampler, _weight in uop.pending_samples:
-                sampler.drop()
-            uop.pending_samples.clear()
+            pend = uop.pending_samples
+            if pend:
+                for sampler, _weight in pend:
+                    sampler.drop()
+                pend.clear()
         # Replay the dynamic trace of the squashed µops, oldest first at
         # the front of the replay queue (squashed is youngest-first).
         self._replay.extendleft(uop.dyn for uop in squashed)
@@ -955,15 +1240,203 @@ class Core:
         if not self._drain_queue or cycle < self._drain_port_free:
             return False
         store = self._drain_queue.popleft()
-        access = self.hierarchy.access_store(
-            store.eff_addr, cycle, translate=False
-        )
+        ready = self.hierarchy.store_fast(store.eff_addr, cycle)
+        if ready is None:
+            ready = self.hierarchy.access_store(
+                store.eff_addr, cycle, translate=False
+            ).ready_time
         self._drain_port_free = cycle + 1
-        heapq.heappush(
+        heappush(
             self._events,
-            (max(access.ready_time, cycle + 1), store.uid, _EV_SQ_FREE, store),
+            (ready if ready > cycle else cycle + 1,
+             store.uid, _EV_SQ_FREE, store),
         )
         return True
+
+    # ==================================================================
+    # Frozen pre-optimisation loop (the A/B reference).
+    #
+    # These methods preserve the seed per-cycle loop verbatim: linear
+    # sampler polling over self.samplers and direct dict-of-tuples
+    # golden accumulation. They are dispatched when reference_loop=True
+    # and exist so the A/B harness can verify the optimised loop above
+    # produces bit-identical golden and sampler profiles. Do not
+    # optimise them.
+    # ==================================================================
+    def _step_reference(self, horizon: int | None = None) -> None:
+        """One cycle of the pre-optimisation loop (see class docstring)."""
+        self.cycle += 1
+        cycle = self.cycle
+
+        progressed = self._process_events()
+        committed = self._commit_reference()
+        state = self._classify(committed)
+        self.commit_state = state
+        self.committing_now = committed
+        self._attribute_reference(state, 1, committed)
+        for sampler in self.samplers:
+            while sampler.next_due <= cycle:
+                sampler.sample(self)
+                sampler.advance()
+
+        progressed |= bool(committed)
+        progressed |= self._issue()
+        progressed |= self._dispatch()
+        progressed |= self._fetch()
+        progressed |= self._start_drain()
+
+        if not progressed and self.fast_forward:
+            self._fast_forward_reference(state, horizon)
+
+    def _fast_forward_reference(
+        self, state: CommitState, cap: int | None = None
+    ) -> None:
+        """Pre-optimisation fast-forward (per-sampler replay loops)."""
+        cycle = self.cycle
+        candidates: list[int] = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self.fetch_buffer:
+            candidates.append(
+                self.fetch_buffer[0].fetch_cycle + self.config.frontend_depth
+            )
+        if (
+            self._waiting_branch is None
+            and not self._stream_empty()
+            and len(self.fetch_buffer) < self.config.fetch_buffer_entries
+        ):
+            candidates.append(self._fetch_stall_until)
+        if self._drain_queue:
+            candidates.append(self._drain_port_free)
+        for queue in self._ready.values():
+            if queue:
+                candidates.append(queue[0][0])
+        for free_time in self._unit_free.values():
+            if free_time > cycle:
+                candidates.append(free_time)
+        future = [c for c in candidates if c > cycle]
+        if not future:
+            raise SimulationError(
+                f"{self.program.name}: deadlock at cycle {cycle} "
+                f"(rob={len(self.rob)}, fb={len(self.fetch_buffer)}, "
+                f"state={state.name})"
+            )
+        target = min(future)
+        if cap is not None:
+            target = min(target, max(cap, cycle + 1))
+        skip = target - cycle - 1
+        if skip <= 0:
+            return
+        self._attribute_reference(state, skip, [])
+        horizon = cycle + skip
+        for sampler in self.samplers:
+            while sampler.next_due <= horizon:
+                sampler.sample(self)
+                sampler.advance()
+        self.cycle = horizon
+
+    def _classify(self, committed: list[Uop]) -> CommitState:
+        if committed:
+            return CommitState.COMPUTE
+        if self.rob:
+            self.rob_head = self.rob[0]
+            return CommitState.STALLED
+        self.rob_head = None
+        if self._empty_is_flush:
+            return CommitState.FLUSHED
+        return CommitState.DRAINED
+
+    def _attribute_reference(
+        self, state: CommitState, n: int, committed: list[Uop]
+    ) -> None:
+        self.state_cycles[state] += n
+        if (
+            self.cycle_trace is not None
+            and state != CommitState.COMPUTE
+        ):
+            head_seq = (
+                self.rob[0].seq if state == CommitState.STALLED else -1
+            )
+            self.cycle_trace.on_cycles(state, n, head_seq)
+        if state == CommitState.COMPUTE:
+            share = 1.0 / len(committed)
+            raw = self.golden_raw
+            for uop in committed:
+                key = (uop.index, uop.psv)
+                raw[key] = raw.get(key, 0.0) + share
+        elif state == CommitState.STALLED:
+            self.rob[0].exposed_stall += n
+        elif state == CommitState.DRAINED:
+            self._pending_drain += n
+        else:  # FLUSHED
+            key = self.flush_blame
+            self.golden_raw[key] = self.golden_raw.get(key, 0.0) + n
+
+    def _commit_reference(self) -> list[Uop]:
+        """Pre-optimisation commit (direct golden_raw accumulation)."""
+        rob = self.rob
+        cycle = self.cycle
+        committed: list[Uop] = []
+        budget = self.config.commit_width
+        flushed = False
+        while budget and rob:
+            head = rob[0]
+            if not head.complete or head.complete_time > cycle:
+                break
+            rob.popleft()
+            head.committed = True
+            committed.append(head)
+            budget -= 1
+            if head.is_load:
+                self._lq_occ -= 1
+                self._unregister_load(head)
+            elif head.is_store:
+                self._drain_queue.append(head)
+            if head.causes_flush:
+                if head.op_class == OpClass.SERIAL:
+                    self.flushes.serial += 1
+                    self._squash_younger_than(head.seq)
+                    self._fetch_stall_until = max(
+                        self._fetch_stall_until,
+                        cycle + self.config.redirect_penalty,
+                    )
+                flushed = True
+                break
+        if committed:
+            raw = self.golden_raw
+            last = committed[-1]
+            first = committed[0]
+            if self._pending_drain:
+                key = (first.index, first.psv)
+                raw[key] = raw.get(key, 0.0) + self._pending_drain
+                self._pending_drain = 0.0
+            if self._drain_waiters:
+                for sampler, weight in self._drain_waiters:
+                    sampler.capture(
+                        first.index, first.psv, weight, cycle=cycle
+                    )
+                self._drain_waiters.clear()
+            for uop in committed:
+                key = (uop.index, uop.psv)
+                if uop.exposed_stall:
+                    raw[key] = raw.get(key, 0.0) + uop.exposed_stall
+                if uop.pending_samples:
+                    for sampler, weight in uop.pending_samples:
+                        sampler.capture(
+                            uop.index, uop.psv, weight, cycle=cycle
+                        )
+                    uop.pending_samples.clear()
+                self._account_commit(uop)
+            self.committed_total += len(committed)
+            if self.cycle_trace is not None:
+                self.cycle_trace.on_commit(
+                    [(u.seq, u.index, u.psv) for u in committed]
+                )
+            self._last_committed = (last.index, last.psv)
+            self._empty_is_flush = flushed or last.causes_flush
+            if self._empty_is_flush:
+                self.flush_blame = (last.index, last.psv)
+        return committed
 
 
 def simulate(
@@ -973,10 +1446,11 @@ def simulate(
     arch_state: ArchState | None = None,
     max_cycles: int = 500_000_000,
     fast_forward: bool = True,
+    reference_loop: bool = False,
 ) -> CoreResult:
     """Convenience wrapper: build a :class:`Core` and run it."""
     core = Core(
         program, config, samplers, arch_state,
-        fast_forward=fast_forward,
+        fast_forward=fast_forward, reference_loop=reference_loop,
     )
     return core.run(max_cycles)

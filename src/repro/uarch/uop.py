@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
+from itertools import count
 from typing import TYPE_CHECKING
 
 from repro.isa.instructions import DynInst
 from repro.isa.opcodes import OpClass, op_class
+
+#: Process-wide µop id source; uniqueness is all that matters, so one
+#: shared counter is fine across cores.
+_uid_source = count()
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.samplers import Sampler
@@ -22,6 +27,8 @@ class Uop:
 
     __slots__ = (
         "dyn",
+        "static",
+        "eff_addr",
         "uid",
         "seq",
         "index",
@@ -29,8 +36,6 @@ class Uop:
         "queue",
         "psv",
         "fetch_cycle",
-        "dispatch_cycle",
-        "issue_cycle",
         "complete_time",
         "dispatched",
         "complete",
@@ -49,52 +54,51 @@ class Uop:
         "forwarded",
     )
 
-    _next_uid = 0
-
-    def __init__(self, dyn: DynInst, fetch_cycle: int, queue: str) -> None:
+    def __init__(
+        self,
+        dyn: DynInst,
+        fetch_cycle: int,
+        queue: str,
+        op_cls: OpClass | None = None,
+    ) -> None:
         self.dyn = dyn
         # Unique, monotonically increasing id: a refetched instance of
         # the same dynamic instruction (same seq) gets a fresh uid, which
         # keeps heap entries totally ordered.
-        self.uid = Uop._next_uid
-        Uop._next_uid += 1
+        self.uid = next(_uid_source)
         self.seq = dyn.seq
+        self.static = dyn.static
+        self.eff_addr = dyn.eff_addr
         self.index = dyn.static.index
-        self.op_class: OpClass = op_class(dyn.static.op)
+        # The core passes its precomputed per-opcode class to keep the
+        # enum lookup off the fetch hot path.
+        self.op_class: OpClass = (
+            op_class(dyn.static.op) if op_cls is None else op_cls
+        )
         self.queue = queue
         self.psv = 0
         self.fetch_cycle = fetch_cycle
-        self.dispatch_cycle = -1
-        self.issue_cycle = -1
         self.complete_time = -1
         self.dispatched = False
         self.complete = False
         self.committed = False
         self.squashed = False
         self.in_iq = False
-        self.is_load = self.op_class == OpClass.LOAD
-        self.is_store = self.op_class == OpClass.STORE
+        self.is_load = self.op_class is OpClass.LOAD
+        self.is_store = self.op_class is OpClass.STORE
         self.mispredicted = False
         self.causes_flush = False
         self.deps_remaining = 0
-        self.dependents: list["Uop"] = []
+        # Lazily allocated (None == empty): most µops never grow either
+        # list, and the two allocations dominate construction cost.
+        self.dependents: list["Uop"] | None = None
         self.prev_writer: "Uop | None" = None
         # Golden attribution: commit-stall cycles exposed by this µop,
         # added to the profile with the final PSV when it commits.
         self.exposed_stall = 0
         # Deferred sampler captures: (sampler, weight).
-        self.pending_samples: list[tuple["Sampler", float]] = []
+        self.pending_samples: list[tuple["Sampler", float]] | None = None
         self.forwarded = False
-
-    @property
-    def static(self):
-        """The static instruction."""
-        return self.dyn.static
-
-    @property
-    def eff_addr(self) -> int:
-        """Memory effective address (-1 for non-memory ops)."""
-        return self.dyn.eff_addr
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,6 +5,7 @@ import pytest
 from repro.core.error import pics_error
 from repro.core.events import Event, IBS_EVENTS, event_mask
 from repro.core.samplers import (
+    TECHNIQUE_NAMES,
     DispatchTagSampler,
     FetchTagSampler,
     GoldenReference,
@@ -13,6 +14,7 @@ from repro.core.samplers import (
     TeaSampler,
     make_sampler,
 )
+from repro.core.states import CommitState
 
 
 def test_factory_builds_every_technique():
@@ -32,6 +34,22 @@ def test_factory_builds_every_technique():
 def test_factory_rejects_unknown():
     with pytest.raises(ValueError, match="unknown technique"):
         make_sampler("PEBS", 100)
+
+
+def test_factory_error_lists_accepted_techniques():
+    """The error names the actual contract -- every accepted technique,
+    including TIP and TEA-dispatch (it used to print event-set keys,
+    which omitted TIP and had no TEA-dispatch entry)."""
+    with pytest.raises(ValueError) as excinfo:
+        make_sampler("PEBS", 100)
+    message = str(excinfo.value)
+    for name in TECHNIQUE_NAMES:
+        assert name in message
+
+
+def test_technique_names_all_constructible():
+    for name in TECHNIQUE_NAMES:
+        assert make_sampler(name, 100).name == name
 
 
 def test_invalid_period_rejected():
@@ -107,6 +125,56 @@ def test_golden_reference_wrapper(mixed_result):
 
     profile = GoldenReference().profile(FakeCore())
     assert profile.total() == pytest.approx(mixed_result.cycles)
+
+
+def test_split_compute_sample_counts_once():
+    """A COMPUTE sample whose weight is shared across N committing µops
+    is one sample, not N (the samples_taken inflation fix)."""
+    from repro.isa.builder import ProgramBuilder
+    from repro.uarch.core import simulate
+
+    # High-ILP loop: plenty of multi-µop commit groups to sample.
+    b = ProgramBuilder("ilp")
+    b.li("x1", 400)
+    b.label("loop")
+    for n in range(8):
+        b.addi(f"x{2 + n}", f"x{2 + n}", 1)
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.halt()
+
+    calls = 0
+    max_group = 0
+
+    class CountingTea(TeaSampler):
+        def sample(self, core):
+            nonlocal calls, max_group
+            calls += 1
+            if core.commit_state == CommitState.COMPUTE:
+                max_group = max(max_group, len(core.committing_now))
+            super().sample(core)
+
+    sampler = CountingTea(97, jitter=False)
+    simulate(b.build(), samplers=[sampler])
+    assert max_group > 1  # the scenario actually split samples
+    assert sampler.samples_taken + sampler.samples_dropped == calls
+
+
+def test_taken_samples_carry_exactly_one_period(mixed_result):
+    """With count-once accounting, captured weight is exactly
+    samples_taken x period for every technique."""
+    for sampler in mixed_result.samplers:
+        assert sum(sampler.raw.values()) == pytest.approx(
+            sampler.samples_taken * sampler.period
+        )
+
+
+def test_capture_tally_flag():
+    sampler = make_sampler("TEA", 100)
+    sampler.capture(1, 0, 60.0, tally=True)
+    sampler.capture(2, 0, 40.0, tally=False)
+    assert sampler.samples_taken == 1
+    assert sum(sampler.raw.values()) == pytest.approx(100.0)
 
 
 def test_start_resets_state(mixed_program):

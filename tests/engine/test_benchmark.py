@@ -1,0 +1,119 @@
+"""Tests for the A/B benchmark harness and the BENCH regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.benchmark import (
+    BenchReport,
+    WorkloadBench,
+    format_report,
+    run_suite,
+)
+from repro.engine.telemetry import (
+    BENCH_SCHEMA,
+    compare_bench,
+    read_bench_file,
+    write_bench_file,
+)
+
+
+def _report():
+    return BenchReport(
+        workloads=[
+            WorkloadBench(
+                name="a", cycles=1000, cycles_per_sec=200.0,
+                reference_cycles_per_sec=100.0, speedup=2.0,
+                identical=True,
+            ),
+            WorkloadBench(
+                name="b", cycles=2000, cycles_per_sec=450.0,
+                reference_cycles_per_sec=100.0, speedup=4.5,
+                identical=True,
+            ),
+        ]
+    )
+
+
+def test_geomean_speedup():
+    assert _report().geomean_speedup == pytest.approx(3.0)
+
+
+def test_geomean_none_without_reference():
+    report = BenchReport(
+        workloads=[WorkloadBench(name="a", cycles=1, cycles_per_sec=1.0)]
+    )
+    assert report.geomean_speedup is None
+
+
+def test_to_bench_entries():
+    entries = _report().to_bench_entries()
+    assert entries["a"]["cycles_per_sec"] == 200.0
+    assert entries["a"]["reference_cycles_per_sec"] == 100.0
+    assert entries["b"]["speedup"] == 4.5
+
+
+def test_format_report_mentions_identity():
+    text = format_report(_report())
+    assert "identical" in text
+    assert "geomean speedup: 3.00x" in text
+
+
+def test_bench_file_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    entries = _report().to_bench_entries()
+    write_bench_file(path, entries, note="unit test")
+    loaded = read_bench_file(path)
+    assert loaded == entries
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["note"] == "unit test"
+
+
+def test_read_bench_rejects_other_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other", "workloads": {}}))
+    with pytest.raises(ValueError, match="not a"):
+        read_bench_file(path)
+    path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+    with pytest.raises(ValueError, match="workloads"):
+        read_bench_file(path)
+
+
+def test_compare_bench_passes_within_tolerance():
+    baseline = {"a": {"cycles_per_sec": 100.0}}
+    current = {"a": {"cycles_per_sec": 85.0}}
+    assert compare_bench(baseline, current, tolerance=0.2) == []
+
+
+def test_compare_bench_flags_regression():
+    baseline = {"a": {"cycles_per_sec": 100.0}}
+    current = {"a": {"cycles_per_sec": 70.0}}
+    problems = compare_bench(baseline, current, tolerance=0.2)
+    assert len(problems) == 1
+    assert "a:" in problems[0]
+
+
+def test_compare_bench_ignores_disjoint_and_zero():
+    baseline = {
+        "only-base": {"cycles_per_sec": 100.0},
+        "zero": {"cycles_per_sec": 0.0},
+    }
+    current = {
+        "only-current": {"cycles_per_sec": 5.0},
+        "zero": {"cycles_per_sec": 1.0},
+    }
+    assert compare_bench(baseline, current) == []
+
+
+def test_run_suite_end_to_end():
+    """A tiny real A/B suite run: identical profiles, speedup measured,
+    entries ready for a BENCH file."""
+    report = run_suite(["lbm"], scale=0.05, repeat=1)
+    (bench,) = report.workloads
+    assert bench.identical is True
+    assert bench.speedup is not None and bench.speedup > 0
+    entries = report.to_bench_entries()
+    assert entries["lbm"]["cycles_per_sec"] > 0

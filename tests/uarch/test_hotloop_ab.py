@@ -1,0 +1,68 @@
+"""A/B equality: the optimised hot loop vs the frozen reference loop.
+
+``Core(reference_loop=True)`` runs the pre-optimisation commit loop,
+kept verbatim as the behavioural oracle for the optimised path. The
+optimisation contract is bit-identity -- same cycles, golden
+attribution, commit-state histogram, and per-sampler raw profiles for
+a fixed seed -- which these tests enforce on real workloads, and which
+``tea-repro bench`` re-checks on every benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.samplers import make_sampler
+from repro.engine.benchmark import run_workload
+from repro.uarch.core import Core
+from repro.workloads import build
+
+TECHNIQUES = ("TEA", "NCI-TEA", "IBS", "SPE", "RIS")
+
+
+def _profiles(workload, reference_loop: bool):
+    samplers = [
+        make_sampler(t, 293, seed=12345 + i)
+        for i, t in enumerate(TECHNIQUES)
+    ]
+    core = Core(
+        workload.program,
+        samplers=samplers,
+        arch_state=workload.fresh_state(),
+        reference_loop=reference_loop,
+    )
+    result = core.run()
+    return {
+        "cycles": result.cycles,
+        "committed": result.committed,
+        "golden": dict(result.golden_raw),
+        "event_counts": dict(result.event_counts),
+        "exec_counts": dict(result.exec_counts),
+        "state_cycles": dict(core.state_cycles),
+        "samplers": [
+            {
+                "raw": dict(s.raw),
+                "taken": s.samples_taken,
+                "dropped": s.samples_dropped,
+            }
+            for s in samplers
+        ],
+    }
+
+
+@pytest.mark.parametrize("name", ["lbm", "mcf", "x264"])
+def test_reference_loop_bit_identical(name):
+    workload = build(name, scale=0.1)
+    assert _profiles(workload, False) == _profiles(workload, True)
+
+
+def test_benchmark_harness_checks_identity():
+    """run_workload() performs the same A/B check and reports speedup."""
+    bench = run_workload("lbm", scale=0.1, repeat=1)
+    assert bench.identical is True
+    assert bench.cycles > 0
+    assert bench.cycles_per_sec > 0
+    assert bench.reference_cycles_per_sec > 0
+    assert bench.speedup == pytest.approx(
+        bench.cycles_per_sec / bench.reference_cycles_per_sec
+    )
