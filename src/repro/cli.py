@@ -21,6 +21,12 @@ Engine controls (any experiment command)::
     tea-repro --store PATH fig5         # explicit run-store location
     tea-repro --no-store fig5           # disable the on-disk store
     tea-repro stats                     # summarise the run log / store
+
+Resilience controls (any experiment command)::
+
+    tea-repro --jobs 8 --retries 2 --backoff 1 --timeout 600 all
+    tea-repro --jobs 8 --keep-going all # partial results + report
+    tea-repro --jobs 8 --resume all     # continue an interrupted sweep
 """
 
 from __future__ import annotations
@@ -181,7 +187,15 @@ def make_engine(args) -> Engine:
             path = store.root / DEFAULT_RUN_LOG_NAME
         if path is not None:
             run_log = RunLog(path)
-    return Engine(store=store, run_log=run_log, jobs=args.jobs)
+    return Engine(
+        store=store,
+        run_log=run_log,
+        jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+        backoff=args.backoff,
+        keep_going=args.keep_going,
+    )
 
 
 def _suite_runner(runner, kind: str):
@@ -195,12 +209,15 @@ def _suite_runner(runner, kind: str):
     return runner
 
 
-def prewarm(runner, commands) -> None:
+def prewarm(runner, commands, resume: bool = False) -> None:
     """Fan every suite the commands need out across the worker pool.
 
     The experiment modules themselves iterate benchmarks serially; with
     ``--jobs N`` the engine simulates all missing runs here first so
-    those loops become pure memo hits.
+    those loops become pure memo hits. Completed runs checkpoint to
+    the store as they land, so re-invoking after an interruption
+    (``--resume`` reports the checkpoint status) re-simulates only the
+    runs that never finished.
     """
     kinds: list[str] = []
     for command in commands:
@@ -210,8 +227,19 @@ def prewarm(runner, commands) -> None:
         suite = _suite_runner(runner, kind)
         for name in WORKLOAD_NAMES:
             specs[f"{kind}:{name}"] = suite.spec(name)
-    if specs:
-        runner.engine.run_suite(specs)
+    if not specs:
+        return
+    if resume:
+        done = sum(runner.engine.checkpointed(specs).values())
+        print(
+            f"resume: {done}/{len(specs)} suite run(s) already "
+            f"checkpointed; simulating the rest"
+        )
+    runner.engine.run_suite(specs)
+    report = runner.engine.last_suite_report
+    if report is not None and report.failed_labels:
+        # Only reachable with --keep-going (failures raise otherwise).
+        print(report.summary(), file=sys.stderr)
 
 
 def cmd_stats(args) -> int:
@@ -386,9 +414,9 @@ def cmd_figures(args) -> int:
     runner = ExperimentRunner(
         scale=args.scale, period=args.period, engine=engine
     )
-    if engine.jobs > 1:
+    if engine.jobs > 1 or args.resume:
         try:
-            prewarm(runner, ["figures"])
+            prewarm(runner, ["figures"], resume=args.resume)
         except SuiteExecutionError as exc:
             print(exc.report(), file=sys.stderr)
             return 1
@@ -492,6 +520,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for suite simulation (default 1)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failing suite run (default 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock bound for parallel suite runs; "
+        "hung workers are cancelled and re-dispatched (default: none)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the jittered exponential backoff between retry "
+        "attempts (default 0.5)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="on suite failures, report them and continue with "
+        "partial results instead of aborting",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="report how much of the suite is already checkpointed "
+        "in the run store before simulating the rest (requires the "
+        "store)",
     )
     parser.add_argument(
         "--store", default=None, metavar="PATH",
@@ -613,6 +666,11 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.resume and args.no_store:
+        parser.error(
+            "--resume needs the run store (drop --no-store)"
+        )
+
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "advise":
@@ -638,23 +696,36 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "report":
             from repro.experiments.report_all import write_report
 
-            if engine.jobs > 1:
-                prewarm(runner, ["report"])
+            if engine.jobs > 1 or args.resume:
+                prewarm(runner, ["report"], resume=args.resume)
             path = write_report(runner, args.out)
             print(f"wrote {path}")
             return 0
 
-        if engine.jobs > 1:
-            prewarm(runner, names)
+        if engine.jobs > 1 or args.resume:
+            prewarm(runner, names, resume=args.resume)
     except SuiteExecutionError as exc:
         print(exc.report(), file=sys.stderr)
         return 1
 
+    failed = 0
     for name in names:
         start = time.time()
-        print(EXPERIMENTS[name](runner))
+        try:
+            print(EXPERIMENTS[name](runner))
+        except Exception as exc:
+            if not args.keep_going:
+                raise
+            # Partial-suite mode: a failed prewarm run resurfaces
+            # here; report the experiment and move on.
+            failed += 1
+            print(
+                f"[{name}: FAILED -- {type(exc).__name__}: {exc}]\n",
+                file=sys.stderr,
+            )
+            continue
         print(f"[{name}: {time.time() - start:.1f}s]\n")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

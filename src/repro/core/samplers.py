@@ -277,6 +277,7 @@ def make_sampler(
     phase: int | None = None,
     jitter: bool = True,
     seed: int = 12345,
+    events: frozenset[Event] | None = None,
 ) -> Sampler:
     """Factory: build the sampler for a paper technique by name.
 
@@ -287,12 +288,30 @@ def make_sampler(
         phase: Optional first-sample cycle.
         jitter: Randomise inter-sample gaps (see :class:`Sampler`).
         seed: RNG seed for jitter and tag-slot selection.
+        events: Restricted event set for event-set ablations; only
+            meaningful for "TEA" and "TEA-dispatch" (the other
+            techniques' event sets define them). ``None`` keeps each
+            technique's full set.
 
     Raises:
-        ValueError: For an unknown technique name.
+        ValueError: For an unknown technique name, or an ``events``
+            override on a fixed-event-set technique.
     """
+    if events is not None and technique not in (
+        "TEA", "TEA-dispatch",
+    ):
+        raise ValueError(
+            f"technique {technique!r} has a fixed event set; events= "
+            f"is only supported for 'TEA' and 'TEA-dispatch'"
+        )
     if technique == "TEA":
-        return TeaSampler(period, phase, jitter=jitter, seed=seed)
+        return TeaSampler(
+            period,
+            phase,
+            jitter=jitter,
+            seed=seed,
+            events=frozenset(Event) if events is None else events,
+        )
     if technique == "TIP":
         return TipSampler(period, phase, jitter=jitter, seed=seed)
     if technique == "NCI-TEA":
@@ -313,7 +332,7 @@ def make_sampler(
         return DispatchTagSampler(
             "TEA-dispatch",
             period,
-            frozenset(Event),
+            frozenset(Event) if events is None else events,
             phase,
             jitter=jitter,
             seed=seed,

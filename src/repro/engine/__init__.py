@@ -28,10 +28,15 @@ from repro.engine.benchmark import (
 )
 from repro.engine.engine import Engine
 from repro.engine.executor import (
+    LabelOutcome,
     SuiteExecutionError,
     SuiteExecutor,
+    SuiteReport,
+    SuiteResult,
+    backoff_delay,
     simulate_to_payload,
 )
+from repro.engine.faults import FaultyWorker, InjectedFault
 from repro.engine.runs import (
     PAYLOAD_SCHEMA,
     BenchmarkRun,
@@ -68,6 +73,9 @@ __all__ = [
     "DEFAULT_RUN_LOG_NAME",
     "DEFAULT_SCALE",
     "Engine",
+    "FaultyWorker",
+    "InjectedFault",
+    "LabelOutcome",
     "LoadedSampler",
     "MODEL_VERSION",
     "PAYLOAD_SCHEMA",
@@ -78,8 +86,11 @@ __all__ = [
     "RunStore",
     "SuiteExecutionError",
     "SuiteExecutor",
+    "SuiteReport",
+    "SuiteResult",
     "TECHNIQUES",
     "WorkloadBench",
+    "backoff_delay",
     "build_workload",
     "canonical",
     "compare_bench",

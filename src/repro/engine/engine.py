@@ -7,9 +7,18 @@ command, and benchmark script funnels through. For each
 1. the in-process memo (same object back, as experiments rely on),
 2. the on-disk :class:`~repro.engine.store.RunStore` (cross-process
    cache hits, reconstructed bit-identically from the stored payload),
-3. a fresh simulation -- in-process, or fanned out over a
-   :class:`~repro.engine.executor.SuiteExecutor` worker pool for suite
-   runs with ``jobs > 1``.
+3. a fresh simulation via the fault-tolerant
+   :class:`~repro.engine.executor.SuiteExecutor` -- serial in-process
+   for ``jobs=1``, fanned out over a worker pool otherwise, with
+   retries, backoff, per-attempt timeouts, and pool recovery either
+   way.
+
+Suite runs checkpoint as they go: each completed payload is flushed to
+the store the moment it lands, so an interrupted or partially failed
+suite resumes from the store and re-simulates only what is missing.
+With ``keep_going`` a failing suite returns its partial results and
+leaves the full :class:`~repro.engine.executor.SuiteReport` on
+:attr:`Engine.last_suite_report` instead of raising.
 
 Every run is recorded to the attached
 :class:`~repro.engine.telemetry.RunLog` with its source, so "how much
@@ -19,9 +28,14 @@ did the cache save" is always answerable after the fact.
 from __future__ import annotations
 
 import time
-from typing import Mapping
+from typing import Any, Callable, Mapping
 
-from repro.engine.executor import SuiteExecutor
+from repro.engine.executor import (
+    SuiteExecutionError,
+    SuiteExecutor,
+    SuiteReport,
+    simulate_to_payload,
+)
 from repro.engine.runs import (
     BenchmarkRun,
     build_workload,
@@ -42,10 +56,20 @@ class Engine:
         run_log: JSONL telemetry sink (``None`` disables logging).
         jobs: Default worker count for :meth:`run_suite`.
         retries: Per-run retry attempts for suite execution.
+        timeout: Per-attempt wall-clock bound in seconds for parallel
+            suite runs (``None`` disables it).
+        backoff: Base seconds of the jittered exponential backoff
+            between retry attempts of the same run.
+        keep_going: Return partial suite results plus a
+            :class:`SuiteReport` instead of raising on failures.
+        worker_fn: Worker callable for suite execution; overridable
+            for tests and fault injection.
 
     Attributes:
         simulations: Number of fresh simulations this engine performed
             (both in-process and via workers).
+        last_suite_report: The :class:`SuiteReport` of the most recent
+            :meth:`run_suite` that had to execute anything.
     """
 
     def __init__(
@@ -54,12 +78,23 @@ class Engine:
         run_log: RunLog | None = None,
         jobs: int = 1,
         retries: int = 1,
+        timeout: float | None = None,
+        backoff: float = 0.0,
+        keep_going: bool = False,
+        worker_fn: Callable[
+            [tuple[str, RunSpec]], tuple[str, dict[str, Any]]
+        ] = simulate_to_payload,
     ) -> None:
         self.store = store
         self.run_log = run_log
         self.jobs = max(1, int(jobs))
         self.retries = retries
+        self.timeout = timeout
+        self.backoff = backoff
+        self.keep_going = bool(keep_going)
+        self.worker_fn = worker_fn
         self.simulations = 0
+        self.last_suite_report: SuiteReport | None = None
         self._memo: dict[str, BenchmarkRun] = {}
 
     # ------------------------------------------------------------------
@@ -96,23 +131,50 @@ class Engine:
     # ------------------------------------------------------------------
     # Suite runs.
     # ------------------------------------------------------------------
+    def checkpointed(
+        self, specs: Mapping[str, RunSpec]
+    ) -> dict[str, bool]:
+        """Which labelled specs already have a completed run.
+
+        True when the spec is memoised in-process or has a stored
+        payload on disk -- i.e. a resumed suite will not re-simulate
+        it. Purely informational (no telemetry, no hit accounting).
+        """
+        status: dict[str, bool] = {}
+        for label, spec in specs.items():
+            status[label] = spec.key in self._memo or (
+                self.store is not None and self.store.contains(spec)
+            )
+        return status
+
     def run_suite(
         self,
         specs: Mapping[str, RunSpec],
         jobs: int | None = None,
+        keep_going: bool | None = None,
     ) -> dict[str, BenchmarkRun]:
         """Serve a labelled suite of specs, fanning misses out.
 
         Memo and store hits are served inline; the remaining specs are
-        executed via a :class:`SuiteExecutor` when more than one worker
-        is requested, otherwise serially in-process. The result maps
-        every label in *specs* (in input order) to its run.
+        executed through a fault-tolerant :class:`SuiteExecutor`
+        (in-process for one worker, a process pool otherwise).
+        Completed payloads are flushed to the store *as they land*, so
+        an interrupted suite re-simulates only what never finished.
+
+        Returns every label in *specs* (in input order) mapped to its
+        run -- or, with ``keep_going``, the labels that completed
+        (partial results; the failure details live on
+        :attr:`last_suite_report`).
 
         Raises:
-            SuiteExecutionError: If any run fails after retries; the
-                error names each failing label.
+            SuiteExecutionError: If any run fails after retries and
+                ``keep_going`` is off; the error names each failing
+                label and carries the worker-side tracebacks.
         """
         jobs = self.jobs if jobs is None else max(1, int(jobs))
+        keep_going = (
+            self.keep_going if keep_going is None else keep_going
+        )
         runs: dict[str, BenchmarkRun] = {}
         pending: dict[str, RunSpec] = {}
         for label, spec in specs.items():
@@ -120,15 +182,15 @@ class Engine:
             if run is not None:
                 self._record(spec, run, "memo", 0.0)
                 runs[label] = run
-            elif jobs <= 1:
-                runs[label] = self.run(spec)
             else:
                 pending[label] = spec
 
         if pending:
-            # Probe the store before paying for workers.
+            # Probe the store before paying for execution: this is
+            # also the resume path -- checkpointed runs load here and
+            # never reach the executor.
             missing: dict[str, RunSpec] = {}
-            seen_keys: dict[str, str] = {}
+            seen_keys: set[str] = set()
             for label, spec in pending.items():
                 if spec.key in seen_keys or spec.key in self._memo:
                     continue  # duplicate spec; resolved below
@@ -146,32 +208,64 @@ class Engine:
                     )
                 else:
                     missing[label] = spec
-                    seen_keys[spec.key] = label
+                    seen_keys.add(spec.key)
 
             if missing:
-                executor = SuiteExecutor(jobs=jobs, retries=self.retries)
-                payloads = executor.map(list(missing.items()))
-                for label, payload in payloads.items():
-                    spec = missing[label]
-                    run = run_from_payload(payload, build_workload(spec))
-                    self.simulations += 1
-                    if self.store is not None:
-                        self.store.save(spec, payload)
-                    self._memo[spec.key] = run
-                    self._record(
-                        spec,
-                        run,
-                        "simulated",
-                        float(payload.get("wall_s") or 0.0),
-                        jobs=jobs,
-                    )
+                report = self._execute_missing(missing, jobs)
+                self.last_suite_report = report
+                if self.run_log is not None:
+                    self.run_log.record_suite(report)
+                if report.failed_labels and not keep_going:
+                    raise SuiteExecutionError(report.failures, report)
 
             for label, spec in pending.items():
                 run = self._memo.get(spec.key)
                 if run is not None:
                     runs[label] = run
 
-        return {label: runs[label] for label in specs}
+        return {
+            label: runs[label] for label in specs if label in runs
+        }
+
+    def _execute_missing(
+        self, missing: dict[str, RunSpec], jobs: int
+    ) -> SuiteReport:
+        """Execute the store-missing specs; memoise and checkpoint."""
+
+        def flush(label: str, payload: dict[str, Any]) -> None:
+            # Called as each payload lands: persist before anything
+            # else can fail, so completed work survives an interrupted
+            # or partially failed suite.
+            spec = missing[label]
+            run = run_from_payload(payload, build_workload(spec))
+            self.simulations += 1
+            if self.store is not None:
+                self.store.save(spec, payload)
+            self._memo[spec.key] = run
+
+        executor = SuiteExecutor(
+            jobs=jobs,
+            retries=self.retries,
+            fn=self.worker_fn,
+            timeout=self.timeout,
+            backoff=self.backoff,
+            keep_going=True,  # the engine applies its own policy
+            on_result=flush,
+        )
+        result = executor.execute(list(missing.items()))
+        for label, payload in result.payloads.items():
+            spec = missing[label]
+            run = self._memo[spec.key]
+            outcome = result.report.outcomes.get(label)
+            self._record(
+                spec,
+                run,
+                "simulated",
+                float(payload.get("wall_s") or 0.0),
+                jobs=jobs,
+                attempts=outcome.attempts if outcome else 1,
+            )
+        return result.report
 
     # ------------------------------------------------------------------
     # Telemetry.
@@ -183,6 +277,7 @@ class Engine:
         source: str,
         wall_s: float,
         jobs: int = 1,
+        attempts: int = 1,
     ) -> None:
         if self.run_log is None:
             return
@@ -199,5 +294,6 @@ class Engine:
                     for key, sampler in run.samplers.items()
                 },
                 jobs=jobs,
+                attempts=attempts,
             )
         )

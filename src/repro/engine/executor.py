@@ -1,14 +1,28 @@
-"""Parallel suite execution over run specs.
+"""Resilient parallel suite execution over run specs.
 
 :class:`SuiteExecutor` fans a list of ``(label, RunSpec)`` pairs out
 across a :class:`~concurrent.futures.ProcessPoolExecutor` (serial
-in-process fallback for ``jobs=1``), returning one stored-run payload
-per label. Workers re-raise nothing mid-suite: each failed run is
-retried once (transient failures -- OOM kills, interrupted workers --
-are the common case on loaded machines), and only after the whole
-suite has been attempted does the executor raise a
-:class:`SuiteExecutionError` naming every failing workload with its
-traceback.
+in-process fallback for ``jobs=1``) and survives the three fault
+classes long sweep campaigns actually hit:
+
+* **a run raises** -- the worker captures its own traceback and ships
+  it back as data, so failure reports show the *remote* stack, and the
+  run is retried with deterministic jittered exponential backoff;
+* **a worker process dies** (OOM kill, segfault) -- the broken pool is
+  torn down and recreated, in-flight runs are re-dispatched, and the
+  suite keeps going instead of cascading `BrokenProcessPool` into
+  every remaining label;
+* **a worker hangs** -- each parallel attempt is bounded by a
+  wall-clock ``timeout``; expired workers are killed (the pool is
+  recreated) and the run is re-dispatched or reported as timed out.
+
+Completed payloads are handed to an ``on_result`` callback the moment
+they land, which is how the engine checkpoints partial suites to the
+:class:`~repro.engine.store.RunStore` (interrupted suites resume from
+the store instead of restarting). Every execution produces a
+:class:`SuiteReport` -- per-label status, attempts, wall time, failure
+cause -- and ``keep_going`` mode returns partial results plus that
+report instead of raising.
 
 Payloads -- not live objects -- cross the process boundary, so a
 parallel suite reconstructs runs through exactly the same
@@ -18,24 +32,47 @@ run.
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.engine.runs import run_to_payload, simulate_spec
 from repro.engine.spec import RunSpec
+
+#: Per-label terminal statuses a :class:`SuiteReport` can carry.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
 
 
 class SuiteExecutionError(RuntimeError):
     """One or more suite runs failed after retries.
 
     Attributes:
-        failures: label -> formatted traceback of the final attempt.
+        failures: label -> formatted traceback (or cause) of the final
+            attempt. For parallel runs this is the *worker-side*
+            traceback, captured where the run actually failed.
+        suite_report: The full :class:`SuiteReport` of the execution,
+            when available.
     """
 
-    def __init__(self, failures: dict[str, str]) -> None:
+    def __init__(
+        self,
+        failures: dict[str, str],
+        suite_report: "SuiteReport | None" = None,
+    ) -> None:
         self.failures = dict(failures)
+        self.suite_report = suite_report
         summary = ", ".join(
             f"{label} ({_last_line(tb)})"
             for label, tb in sorted(self.failures.items())
@@ -58,6 +95,143 @@ def _last_line(tb: str) -> str:
     return lines[-1].strip() if lines else "unknown error"
 
 
+def backoff_delay(
+    attempt: int,
+    base: float,
+    factor: float = 2.0,
+    seed: int = 12345,
+    label: str = "",
+) -> float:
+    """Seconds to wait before *attempt* (1-based; the first is free).
+
+    Exponential in the attempt number with a deterministic jitter in
+    ``[0.5, 1.5)`` derived from ``sha256(seed, label, attempt)`` --
+    the same seed always reproduces the same backoff schedule, so
+    retry timing is testable and sweeps are replayable, while distinct
+    labels still decorrelate their retry storms.
+    """
+    if attempt <= 1 or base <= 0:
+        return 0.0
+    digest = hashlib.sha256(
+        f"{seed}:{label}:{attempt}".encode()
+    ).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+    return base * factor ** (attempt - 2) * jitter
+
+
+@dataclass
+class LabelOutcome:
+    """Terminal status of one suite label."""
+
+    label: str
+    status: str  # STATUS_OK | STATUS_FAILED | STATUS_TIMEOUT
+    attempts: int
+    wall_s: float = 0.0
+    cause: str | None = None  # short "Type: message" style cause
+    traceback: str | None = None  # formatted (remote) traceback
+
+    def to_json(self) -> dict[str, Any]:
+        """A compact JSON-ready record (traceback elided)."""
+        doc: dict[str, Any] = {
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_s": round(self.wall_s, 6),
+        }
+        if self.cause:
+            doc["cause"] = self.cause
+        return doc
+
+
+@dataclass
+class SuiteReport:
+    """Structured account of one suite execution.
+
+    Attributes:
+        outcomes: label -> terminal :class:`LabelOutcome`.
+        retries: Total re-dispatches performed (all labels).
+        timeouts: Attempts cancelled for exceeding the timeout.
+        pool_recreations: Times the worker pool was torn down and
+            rebuilt (worker death or hung-worker cancellation).
+        wall_s: Wall-clock seconds the whole execution took.
+    """
+
+    outcomes: dict[str, LabelOutcome] = field(default_factory=dict)
+    retries: int = 0
+    timeouts: int = 0
+    pool_recreations: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok_labels(self) -> list[str]:
+        """Labels that completed successfully."""
+        return [
+            label
+            for label, out in self.outcomes.items()
+            if out.status == STATUS_OK
+        ]
+
+    @property
+    def failed_labels(self) -> list[str]:
+        """Labels that did not complete (failed or timed out)."""
+        return [
+            label
+            for label, out in self.outcomes.items()
+            if out.status != STATUS_OK
+        ]
+
+    @property
+    def failures(self) -> dict[str, str]:
+        """label -> traceback (or cause) for every non-ok label."""
+        return {
+            label: (
+                self.outcomes[label].traceback
+                or self.outcomes[label].cause
+                or "unknown error"
+            )
+            for label in self.failed_labels
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the execution."""
+        lines = [
+            f"suite: {len(self.ok_labels)}/{len(self.outcomes)} run(s) "
+            f"ok in {self.wall_s:.1f}s -- {self.retries} retrie(s), "
+            f"{self.timeouts} timeout(s), "
+            f"{self.pool_recreations} pool recreation(s)"
+        ]
+        for label in sorted(self.failed_labels):
+            out = self.outcomes[label]
+            lines.append(
+                f"  {label}: {out.status} after {out.attempts} "
+                f"attempt(s) ({out.cause or 'unknown error'})"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready record (one telemetry line)."""
+        return {
+            "labels": len(self.outcomes),
+            "ok": len(self.ok_labels),
+            "failed": sorted(self.failed_labels),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_recreations": self.pool_recreations,
+            "wall_s": round(self.wall_s, 6),
+            "outcomes": {
+                label: out.to_json()
+                for label, out in sorted(self.outcomes.items())
+            },
+        }
+
+
+@dataclass
+class SuiteResult:
+    """Payloads plus the report of one :meth:`SuiteExecutor.execute`."""
+
+    payloads: dict[str, dict[str, Any]]
+    report: SuiteReport
+
+
 def simulate_to_payload(
     item: tuple[str, RunSpec],
 ) -> tuple[str, dict[str, Any]]:
@@ -70,14 +244,87 @@ def simulate_to_payload(
     )
 
 
+@dataclass
+class _WorkerOutcome:
+    """What one worker attempt produced (crosses the pickle boundary)."""
+
+    label: str
+    payload: dict[str, Any] | None
+    error: str | None  # formatted traceback, captured in the worker
+    cause: str | None  # "ExcType: message"
+    wall_s: float
+
+
+def _run_captured(
+    fn: Callable[[tuple[str, Any]], tuple[str, dict[str, Any]]],
+    item: tuple[str, Any],
+) -> _WorkerOutcome:
+    """Run *fn* on *item*, capturing any exception where it happened.
+
+    Runs inside the worker process, so ``error`` carries the remote
+    traceback -- not the parent's re-raise site.
+    """
+    label = item[0]
+    start = time.perf_counter()
+    try:
+        _, payload = fn(item)
+    except Exception as exc:
+        return _WorkerOutcome(
+            label=label,
+            payload=None,
+            error=traceback.format_exc(),
+            cause=f"{type(exc).__name__}: {exc}",
+            wall_s=time.perf_counter() - start,
+        )
+    return _WorkerOutcome(
+        label=label,
+        payload=payload,
+        error=None,
+        cause=None,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool's worker processes and release its resources.
+
+    Used both when a hung worker must be cancelled (the only way to
+    preempt a worker process is to terminate it) and after a
+    :class:`BrokenProcessPool` (the pool object is unusable anyway).
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead racing
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken-pool shutdown race
+        pass
+
+
 class SuiteExecutor:
-    """Fan specs out over worker processes with retry-once semantics.
+    """Fan specs out over worker processes with fault tolerance.
 
     Args:
         jobs: Maximum concurrent workers (1 = serial, in-process).
         retries: Re-attempts per failing run (default 1).
         fn: Worker callable ``(label, spec) -> (label, payload)``;
-            overridable for tests. Must be picklable when ``jobs > 1``.
+            overridable for tests and fault injection. Must be
+            picklable when ``jobs > 1``.
+        timeout: Per-attempt wall-clock bound in seconds (parallel
+            runs only -- an in-process attempt cannot be preempted).
+            ``None`` disables the bound.
+        backoff: Base backoff in seconds between attempts of the same
+            run (see :func:`backoff_delay`); 0 retries immediately.
+        backoff_factor: Exponential growth factor of the backoff.
+        seed: Seed of the deterministic backoff jitter.
+        keep_going: When true, :meth:`map` returns the partial payload
+            dict instead of raising on failures (the report is always
+            available via :attr:`last_report`).
+        on_result: Callback ``(label, payload)`` invoked in the parent
+            as each run lands -- the engine's checkpoint hook.
     """
 
     def __init__(
@@ -87,11 +334,28 @@ class SuiteExecutor:
         fn: Callable[
             [tuple[str, RunSpec]], tuple[str, dict[str, Any]]
         ] = simulate_to_payload,
+        *,
+        timeout: float | None = None,
+        backoff: float = 0.0,
+        backoff_factor: float = 2.0,
+        seed: int = 12345,
+        keep_going: bool = False,
+        on_result: Callable[[str, dict[str, Any]], None] | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.retries = max(0, int(retries))
         self.fn = fn
+        self.timeout = None if timeout is None else float(timeout)
+        self.backoff = max(0.0, float(backoff))
+        self.backoff_factor = float(backoff_factor)
+        self.seed = int(seed)
+        self.keep_going = bool(keep_going)
+        self.on_result = on_result
+        self.last_report: SuiteReport | None = None
 
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
     def map(
         self, items: Sequence[tuple[str, RunSpec]]
     ) -> dict[str, dict[str, Any]]:
@@ -99,58 +363,283 @@ class SuiteExecutor:
 
         Raises:
             SuiteExecutionError: If any item still fails after retries
-                (every other item's result is completed first).
+                and ``keep_going`` is off (every other item's result is
+                completed first). With ``keep_going`` the partial
+                payload dict is returned instead.
         """
-        items = list(items)
-        if self.jobs <= 1 or len(items) <= 1:
-            return self._map_serial(items)
-        return self._map_parallel(items)
+        result = self.execute(items)
+        if result.report.failed_labels and not self.keep_going:
+            raise SuiteExecutionError(
+                result.report.failures, result.report
+            )
+        return result.payloads
 
-    def _map_serial(
+    def execute(
+        self, items: Sequence[tuple[str, RunSpec]]
+    ) -> SuiteResult:
+        """Execute every item; never raises for run-level failures."""
+        items = list(items)
+        start = time.monotonic()
+        if self.jobs <= 1 or not items or (
+            len(items) <= 1 and self.timeout is None
+        ):
+            result = self._execute_serial(items)
+        else:
+            result = self._execute_parallel(items)
+        result.report.wall_s = time.monotonic() - start
+        self.last_report = result.report
+        return result
+
+    def _delay(self, attempt: int, label: str) -> float:
+        return backoff_delay(
+            attempt,
+            self.backoff,
+            self.backoff_factor,
+            self.seed,
+            label,
+        )
+
+    def _emit(self, label: str, payload: dict[str, Any]) -> None:
+        if self.on_result is not None:
+            self.on_result(label, payload)
+
+    # ------------------------------------------------------------------
+    # Serial path.
+    # ------------------------------------------------------------------
+    def _execute_serial(
         self, items: list[tuple[str, RunSpec]]
-    ) -> dict[str, dict[str, Any]]:
-        results: dict[str, dict[str, Any]] = {}
-        failures: dict[str, str] = {}
+    ) -> SuiteResult:
+        payloads: dict[str, dict[str, Any]] = {}
+        report = SuiteReport()
         for item in items:
             label = item[0]
-            for attempt in range(self.retries + 1):
-                try:
-                    _, payload = self.fn(item)
-                    results[label] = payload
+            for attempt in range(1, self.retries + 2):
+                outcome = _run_captured(self.fn, item)
+                if outcome.error is None:
+                    payloads[label] = outcome.payload
+                    report.outcomes[label] = LabelOutcome(
+                        label, STATUS_OK, attempt, outcome.wall_s
+                    )
+                    self._emit(label, outcome.payload)
                     break
-                except Exception:
-                    if attempt == self.retries:
-                        failures[label] = traceback.format_exc()
-        if failures:
-            raise SuiteExecutionError(failures)
-        return results
+                if attempt <= self.retries:
+                    report.retries += 1
+                    delay = self._delay(attempt + 1, label)
+                    if delay > 0:
+                        time.sleep(delay)
+                else:
+                    report.outcomes[label] = LabelOutcome(
+                        label,
+                        STATUS_FAILED,
+                        attempt,
+                        outcome.wall_s,
+                        cause=outcome.cause,
+                        traceback=outcome.error,
+                    )
+        return SuiteResult(payloads=payloads, report=report)
 
-    def _map_parallel(
+    # ------------------------------------------------------------------
+    # Parallel path.
+    # ------------------------------------------------------------------
+    def _execute_parallel(
         self, items: list[tuple[str, RunSpec]]
-    ) -> dict[str, dict[str, Any]]:
-        results: dict[str, dict[str, Any]] = {}
-        failures: dict[str, str] = {}
+    ) -> SuiteResult:
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {
-                pool.submit(self.fn, item): (item, 0) for item in items
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    item, attempt = pending.pop(future)
-                    label = item[0]
+        payloads: dict[str, dict[str, Any]] = {}
+        report = SuiteReport()
+        ready: deque[tuple[tuple[str, Any], int]] = deque(
+            (item, 1) for item in items
+        )
+        delayed: list[tuple[float, int, tuple[str, Any], int]] = []
+        running: dict[Any, tuple[tuple[str, Any], int, float]] = {}
+        seq = 0  # heap tie-breaker keeping retry order deterministic
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def schedule_retry(
+            item: tuple[str, Any], failed_attempt: int
+        ) -> None:
+            nonlocal seq
+            report.retries += 1
+            seq += 1
+            delay = self._delay(failed_attempt + 1, item[0])
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + delay, seq, item, failed_attempt + 1),
+            )
+
+        try:
+            while ready or delayed or running:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, item, attempt = heapq.heappop(delayed)
+                    ready.append((item, attempt))
+
+                broken = False
+                while ready and len(running) < workers:
+                    item, attempt = ready.popleft()
                     try:
-                        _, payload = future.result()
-                        results[label] = payload
-                    except Exception:
-                        if attempt < self.retries:
-                            pending[pool.submit(self.fn, item)] = (
-                                item,
-                                attempt + 1,
+                        future = pool.submit(
+                            _run_captured, self.fn, item
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        ready.appendleft((item, attempt))
+                        broken = True
+                        break
+                    running[future] = (item, attempt, time.monotonic())
+
+                if not broken:
+                    if not running:
+                        if delayed:
+                            time.sleep(
+                                max(
+                                    0.0,
+                                    delayed[0][0] - time.monotonic(),
+                                )
                             )
-                        else:
-                            failures[label] = traceback.format_exc()
-        if failures:
-            raise SuiteExecutionError(failures)
-        return results
+                        continue
+                    broken = self._drain(
+                        running, delayed, report, payloads,
+                        schedule_retry,
+                    )
+                    broken = (
+                        self._expire(running, report, schedule_retry)
+                        or broken
+                    )
+
+                if broken:
+                    # Surviving in-flight runs are innocent bystanders:
+                    # re-dispatch them without consuming an attempt.
+                    for item, attempt, _ in running.values():
+                        ready.append((item, attempt))
+                    running.clear()
+                    _terminate_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    report.pool_recreations += 1
+        finally:
+            _terminate_pool(pool)
+        return SuiteResult(payloads=payloads, report=report)
+
+    def _wait_timeout(
+        self,
+        running: dict[Any, tuple[tuple[str, Any], int, float]],
+        delayed: list,
+    ) -> float | None:
+        """How long the completion wait may block."""
+        bounds = []
+        if self.timeout is not None:
+            earliest = min(
+                started for (_, _, started) in running.values()
+            )
+            bounds.append(earliest + self.timeout - time.monotonic())
+        if delayed:
+            bounds.append(delayed[0][0] - time.monotonic())
+        if not bounds:
+            return None
+        return max(0.0, min(bounds))
+
+    def _drain(
+        self,
+        running: dict[Any, tuple[tuple[str, Any], int, float]],
+        delayed: list,
+        report: SuiteReport,
+        payloads: dict[str, dict[str, Any]],
+        schedule_retry: Callable[[tuple[str, Any], int], None],
+    ) -> bool:
+        """Wait for and settle completed futures; True if pool broke."""
+        timeout = self._wait_timeout(running, delayed)
+        done, _ = wait(
+            set(running), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        broken = False
+        for future in done:
+            item, attempt, started = running.pop(future)
+            label = item[0]
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                broken = True
+                cause = "worker process died (BrokenProcessPool)"
+                if attempt <= self.retries:
+                    schedule_retry(item, attempt)
+                else:
+                    report.outcomes[label] = LabelOutcome(
+                        label,
+                        STATUS_FAILED,
+                        attempt,
+                        time.monotonic() - started,
+                        cause=cause,
+                        traceback=traceback.format_exc(),
+                    )
+                continue
+            except Exception as exc:  # pickling / pool-internal errors
+                cause = f"{type(exc).__name__}: {exc}"
+                if attempt <= self.retries:
+                    schedule_retry(item, attempt)
+                else:
+                    report.outcomes[label] = LabelOutcome(
+                        label,
+                        STATUS_FAILED,
+                        attempt,
+                        time.monotonic() - started,
+                        cause=cause,
+                        traceback=traceback.format_exc(),
+                    )
+                continue
+            if outcome.error is None:
+                payloads[label] = outcome.payload
+                report.outcomes[label] = LabelOutcome(
+                    label, STATUS_OK, attempt, outcome.wall_s
+                )
+                self._emit(label, outcome.payload)
+            elif attempt <= self.retries:
+                schedule_retry(item, attempt)
+            else:
+                report.outcomes[label] = LabelOutcome(
+                    label,
+                    STATUS_FAILED,
+                    attempt,
+                    outcome.wall_s,
+                    cause=outcome.cause,
+                    traceback=outcome.error,
+                )
+        return broken
+
+    def _expire(
+        self,
+        running: dict[Any, tuple[tuple[str, Any], int, float]],
+        report: SuiteReport,
+        schedule_retry: Callable[[tuple[str, Any], int], None],
+    ) -> bool:
+        """Cancel attempts past the timeout; True if any expired.
+
+        Worker processes cannot be interrupted, so expiry implies
+        killing the pool; the caller recreates it and re-dispatches
+        the surviving in-flight runs.
+        """
+        if self.timeout is None:
+            return False
+        now = time.monotonic()
+        expired = [
+            future
+            for future, (_, _, started) in running.items()
+            if now - started >= self.timeout
+        ]
+        for future in expired:
+            item, attempt, started = running.pop(future)
+            label = item[0]
+            report.timeouts += 1
+            cause = (
+                f"timed out after {self.timeout:.1f}s "
+                f"(worker cancelled)"
+            )
+            if attempt <= self.retries:
+                schedule_retry(item, attempt)
+            else:
+                report.outcomes[label] = LabelOutcome(
+                    label,
+                    STATUS_TIMEOUT,
+                    attempt,
+                    now - started,
+                    cause=cause,
+                )
+        return bool(expired)

@@ -1,0 +1,134 @@
+"""Deterministic fault injection for resilient-executor testing.
+
+:class:`FaultyWorker` wraps a worker callable with a per-label,
+per-attempt fault schedule -- raise deep in a helper, hang, or kill
+the worker process outright -- so the executor's retry, timeout, and
+pool-recovery paths can be exercised reproducibly from tests and the
+CI smoke step. Attempt counting crosses process boundaries through
+exclusive-create marker files in a shared state directory, so the
+schedule holds no matter which worker process serves which attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+#: Schedulable actions, one per attempt of a label.
+ACTION_OK = "ok"
+ACTION_RAISE = "raise"
+ACTION_HANG = "hang"
+ACTION_KILL = "kill"
+
+ACTIONS = (ACTION_OK, ACTION_RAISE, ACTION_HANG, ACTION_KILL)
+
+
+class InjectedFault(RuntimeError):
+    """The exception :data:`ACTION_RAISE` raises inside the worker."""
+
+
+def _fault_helper_inner(label: str, attempt: int) -> None:
+    """Innermost frame of an injected failure.
+
+    Exists so tests can assert the *remote* traceback reaches the
+    failure report: a worker-side stack contains this frame, the
+    parent's local re-raise site does not.
+    """
+    raise InjectedFault(
+        f"injected fault in {label!r} (attempt {attempt})"
+    )
+
+
+def _fault_helper(label: str, attempt: int) -> None:
+    _fault_helper_inner(label, attempt)
+
+
+class FaultyWorker:
+    """Picklable worker wrapper executing a deterministic fault plan.
+
+    Args:
+        state_dir: Directory for cross-process attempt markers (use a
+            fresh temp dir per execution; reusing one resumes its
+            attempt counts).
+        plan: label -> sequence of actions, one per attempt, each of
+            :data:`ACTIONS`. Attempts beyond the sequence (and labels
+            absent from the plan) run :data:`ACTION_OK`.
+        fn: Inner worker called for :data:`ACTION_OK` attempts; when
+            ``None`` a stub payload ``{"ok": label, "attempt": n}`` is
+            returned, keeping executor-level tests simulation-free.
+        hang_s: How long :data:`ACTION_HANG` sleeps before returning
+            normally (long enough that only a timeout ends it).
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        plan: Mapping[str, Sequence[str]],
+        fn: Callable[
+            [tuple[str, Any]], tuple[str, dict[str, Any]]
+        ] | None = None,
+        hang_s: float = 60.0,
+    ) -> None:
+        self.state_dir = str(state_dir)
+        self.plan = {
+            label: tuple(actions) for label, actions in plan.items()
+        }
+        for label, actions in self.plan.items():
+            for action in actions:
+                if action not in ACTIONS:
+                    raise ValueError(
+                        f"unknown fault action {action!r} for "
+                        f"{label!r}; expected one of {ACTIONS}"
+                    )
+        self.fn = fn
+        self.hang_s = float(hang_s)
+
+    def attempts(self, label: str) -> int:
+        """How many attempts of *label* have started so far."""
+        base = Path(self.state_dir)
+        count = 0
+        while (base / f"{label}.attempt{count + 1}").exists():
+            count += 1
+        return count
+
+    def _claim_attempt(self, label: str) -> int:
+        """Atomically claim this call's 1-based attempt number."""
+        base = Path(self.state_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        attempt = 1
+        while True:
+            try:
+                fd = os.open(
+                    base / f"{label}.attempt{attempt}",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                attempt += 1
+                continue
+            os.close(fd)
+            return attempt
+
+    def __call__(
+        self, item: tuple[str, Any]
+    ) -> tuple[str, dict[str, Any]]:
+        label = item[0]
+        attempt = self._claim_attempt(label)
+        actions = self.plan.get(label, ())
+        action = (
+            actions[attempt - 1]
+            if attempt <= len(actions)
+            else ACTION_OK
+        )
+        if action == ACTION_RAISE:
+            _fault_helper(label, attempt)
+        elif action == ACTION_HANG:
+            time.sleep(self.hang_s)
+        elif action == ACTION_KILL:
+            # Simulates an OOM kill: the process dies without cleanup,
+            # breaking the whole ProcessPoolExecutor.
+            os._exit(23)
+        if self.fn is None:
+            return label, {"ok": label, "attempt": attempt}
+        return self.fn(item)

@@ -61,6 +61,14 @@ class RunStore:
         """The on-disk path a spec's payload lives at."""
         return self.runs_dir / spec.key[:2] / f"{spec.key}.json"
 
+    def contains(self, spec: RunSpec) -> bool:
+        """Cheap existence probe for *spec* (no parse, no accounting).
+
+        Used for resume status reporting; a corrupt or stale file can
+        make this optimistic -- :meth:`load` remains the authority.
+        """
+        return self.path_for(spec).is_file()
+
     def load(self, spec: RunSpec) -> dict[str, Any] | None:
         """The stored payload for *spec*, or ``None`` on a miss.
 

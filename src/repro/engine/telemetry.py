@@ -38,6 +38,8 @@ class RunMetrics:
         committed: Committed instructions of the run.
         samples: Samples taken per attached sampler key.
         jobs: Worker count the run executed under (1 = in-process).
+        attempts: Execution attempts the run took (>1 = it was
+            retried after transient failures before succeeding).
         timestamp: Unix time the record was created.
     """
 
@@ -49,6 +51,7 @@ class RunMetrics:
     committed: int
     samples: dict[str, int] = field(default_factory=dict)
     jobs: int = 1
+    attempts: int = 1
     timestamp: float = field(default_factory=time.time)
 
     @property
@@ -70,6 +73,7 @@ class RunMetrics:
             "cycles_per_sec": round(self.cycles_per_sec, 1),
             "samples": self.samples,
             "jobs": self.jobs,
+            "attempts": self.attempts,
             "timestamp": self.timestamp,
         }
 
@@ -86,6 +90,22 @@ class RunLog:
         line = json.dumps(metrics.to_json(), sort_keys=True)
         with open(self.path, "a") as handle:
             handle.write(line + "\n")
+
+    def record_suite(self, report) -> None:
+        """Append one suite-execution record as a JSON line.
+
+        Args:
+            report: A :class:`~repro.engine.executor.SuiteReport`; the
+                line carries ``"kind": "suite"`` plus the report's
+                retry/timeout/pool-recovery counters and per-label
+                outcomes, so resilience behaviour is auditable from
+                the same log as the runs (``tea-repro stats``
+                summarises both).
+        """
+        doc = {"kind": "suite", "timestamp": time.time()}
+        doc.update(report.to_json())
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
 
 
 def read_run_log(path: str | Path) -> list[dict[str, Any]]:
@@ -111,8 +131,12 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     from repro.experiments.runner import format_table
 
     records = list(records)
-    if not records:
+    suites = [r for r in records if r.get("kind") == "suite"]
+    records = [r for r in records if r.get("kind") != "suite"]
+    if not records and not suites:
         return "run log: empty (no engine runs recorded yet)"
+    if not records:
+        return _summarize_suites(suites)
 
     by_source = {source: 0 for source in SOURCES}
     wall_by_source = {source: 0.0 for source in SOURCES}
@@ -167,7 +191,25 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
             rows,
         )
     )
+    if suites:
+        lines.append("")
+        lines.append(_summarize_suites(suites))
     return "\n".join(lines)
+
+
+def _summarize_suites(suites: list[dict[str, Any]]) -> str:
+    """One-line resilience summary of the suite-execution records."""
+    retries = sum(int(r.get("retries", 0)) for r in suites)
+    timeouts = sum(int(r.get("timeouts", 0)) for r in suites)
+    recreations = sum(
+        int(r.get("pool_recreations", 0)) for r in suites
+    )
+    failed = sum(len(r.get("failed", ())) for r in suites)
+    return (
+        f"suites: {len(suites)} execution(s) -- {retries} retrie(s), "
+        f"{timeouts} timeout(s), {recreations} pool recreation(s), "
+        f"{failed} failed label(s)"
+    )
 
 
 def summarize_run_log(path: str | Path) -> str:

@@ -27,13 +27,32 @@ class AccuracyResult:
     techniques: tuple[str, ...]
 
     def average(self, technique: str) -> float:
-        """Mean error of a technique across benchmarks."""
+        """Mean error of a technique across benchmarks.
+
+        Raises:
+            ValueError: If the result holds no benchmarks (the
+                experiment ran with an empty workload tuple).
+        """
+        self._require_benchmarks()
         values = [row[technique] for row in self.errors.values()]
         return sum(values) / len(values)
 
     def maximum(self, technique: str) -> float:
-        """Worst-case error of a technique across benchmarks."""
+        """Worst-case error of a technique across benchmarks.
+
+        Raises:
+            ValueError: If the result holds no benchmarks (the
+                experiment ran with an empty workload tuple).
+        """
+        self._require_benchmarks()
         return max(row[technique] for row in self.errors.values())
+
+    def _require_benchmarks(self) -> None:
+        if not self.errors:
+            raise ValueError(
+                "AccuracyResult holds no benchmarks; the experiment "
+                "was run with an empty workload tuple"
+            )
 
 
 def run(
@@ -41,7 +60,17 @@ def run(
     names: tuple[str, ...] = WORKLOAD_NAMES,
     techniques: tuple[str, ...] = TECHNIQUES,
 ) -> AccuracyResult:
-    """Run the Fig 5 experiment."""
+    """Run the Fig 5 experiment.
+
+    Raises:
+        ValueError: If *names* is empty (an empty workload tuple would
+            otherwise surface later as a bare ``ZeroDivisionError`` in
+            :meth:`AccuracyResult.average`).
+    """
+    if not names:
+        raise ValueError(
+            "accuracy experiment needs at least one workload name"
+        )
     runner = runner or ExperimentRunner()
     errors: dict[str, dict[str, float]] = {}
     for name in names:

@@ -55,9 +55,17 @@ class ExperimentRunner:
             persistence (``None`` keeps runs in-process only).
         jobs: Default worker count for :meth:`run_suite`.
         run_log: Optional :class:`RunLog` telemetry sink.
+        retries: Per-run retry attempts for suite execution.
+        timeout: Per-attempt wall-clock bound (seconds) for parallel
+            suite runs.
+        backoff: Base seconds of the jittered exponential retry
+            backoff.
+        keep_going: Return partial suite results plus a report
+            instead of raising on failures.
         engine: Share an existing engine (its memo, store, and
             telemetry) instead of building one; ``store``/``jobs``/
-            ``run_log`` are ignored when given.
+            ``run_log`` and the resilience knobs are ignored when
+            given.
     """
 
     def __init__(
@@ -71,6 +79,10 @@ class ExperimentRunner:
         store: RunStore | None = None,
         jobs: int = 1,
         run_log: RunLog | None = None,
+        retries: int = 1,
+        timeout: float | None = None,
+        backoff: float = 0.0,
+        keep_going: bool = False,
         engine: Engine | None = None,
     ) -> None:
         self.scale = scale
@@ -79,7 +91,15 @@ class ExperimentRunner:
         self.techniques = tuple(techniques)
         self.extra_periods = tuple(extra_periods)
         if engine is None:
-            engine = Engine(store=store, run_log=run_log, jobs=jobs)
+            engine = Engine(
+                store=store,
+                run_log=run_log,
+                jobs=jobs,
+                retries=retries,
+                timeout=timeout,
+                backoff=backoff,
+                keep_going=keep_going,
+            )
         self.engine = engine
 
     @property
@@ -91,6 +111,11 @@ class ExperimentRunner:
     def jobs(self) -> int:
         """The engine's default suite worker count."""
         return self.engine.jobs
+
+    @property
+    def last_suite_report(self):
+        """The engine's most recent suite execution report (if any)."""
+        return self.engine.last_suite_report
 
     def spec(self, name: str, **workload_kwargs) -> RunSpec:
         """The canonical :class:`RunSpec` for one benchmark run."""

@@ -186,3 +186,27 @@ def test_start_resets_state(mixed_program):
     second = simulate(mixed_program, samplers=[sampler])
     # Deterministic rerun after start(): identical profile, not doubled.
     assert sampler.raw == first_raw
+
+
+def test_make_sampler_forwards_restricted_event_set():
+    """Event-set ablations must be buildable through the factory: a
+    restricted ``events=`` reaches the TEA sampler (and its dispatch
+    variant) instead of being silently dropped."""
+    subset = frozenset({Event.ST_L1, Event.ST_LLC})
+    tea = make_sampler("TEA", 101, events=subset)
+    assert tea.events == subset
+    assert tea.mask == event_mask(subset)
+    dispatch = make_sampler("TEA-dispatch", 101, events=subset)
+    assert dispatch.events == subset
+
+
+def test_make_sampler_default_event_set_unchanged():
+    assert make_sampler("TEA", 101).events == frozenset(Event)
+
+
+def test_make_sampler_rejects_events_for_fixed_set_techniques():
+    for technique in ("TIP", "NCI-TEA", "IBS", "SPE", "RIS"):
+        with pytest.raises(ValueError, match="fixed event set"):
+            make_sampler(
+                technique, 101, events=frozenset({Event.ST_L1})
+            )

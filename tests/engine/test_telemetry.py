@@ -156,3 +156,51 @@ def test_run_log_lines_are_valid_json(tmp_path):
     assert record["source"] == "simulated"
     assert record["spec_key"] == spec().key
     assert record["samples"]  # every sampler reported a count
+
+
+def test_metrics_attempts_default_and_override():
+    assert metrics().to_json()["attempts"] == 1
+    assert metrics(attempts=3).to_json()["attempts"] == 3
+
+
+def test_record_suite_round_trip(tmp_path):
+    from repro.engine import LabelOutcome, SuiteReport
+
+    report = SuiteReport(
+        outcomes={
+            "lbm": LabelOutcome("lbm", "ok", attempts=2, wall_s=1.0),
+            "xz": LabelOutcome(
+                "xz", "failed", attempts=2, wall_s=0.5,
+                cause="RuntimeError: boom",
+            ),
+        },
+        retries=2,
+        timeouts=1,
+        pool_recreations=1,
+        wall_s=3.5,
+    )
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    log.record_suite(report)
+    records = read_run_log(path)
+    assert len(records) == 2
+    suite = records[1]
+    assert suite["kind"] == "suite"
+    assert suite["ok"] == 1
+    assert suite["failed"] == ["xz"]
+    assert suite["outcomes"]["xz"]["cause"] == "RuntimeError: boom"
+    text = summarize_run_log(path)
+    assert "1 run(s)" in text  # suite lines don't count as runs
+    assert (
+        "suites: 1 execution(s) -- 2 retrie(s), 1 timeout(s), "
+        "1 pool recreation(s), 1 failed label(s)" in text
+    )
+
+
+def test_summary_of_suite_only_log():
+    from repro.engine import SuiteReport
+
+    rec = {"kind": "suite", **SuiteReport().to_json()}
+    text = summarize_records([rec])
+    assert "suites: 1 execution(s)" in text

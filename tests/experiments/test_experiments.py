@@ -174,3 +174,18 @@ def test_cli_smoke(capsys):
     assert main(["table1"]) == 0
     out = capsys.readouterr().out
     assert "Table 1" in out
+
+
+def test_accuracy_empty_result_fails_fast():
+    """An empty workload tuple must raise a clear ValueError, not a
+    bare ZeroDivisionError/ValueError from the aggregation math."""
+    empty = accuracy.AccuracyResult(errors={}, techniques=("TEA",))
+    with pytest.raises(ValueError, match="no benchmarks"):
+        empty.average("TEA")
+    with pytest.raises(ValueError, match="no benchmarks"):
+        empty.maximum("TEA")
+
+
+def test_accuracy_run_rejects_empty_names(small_runner):
+    with pytest.raises(ValueError, match="at least one workload"):
+        accuracy.run(small_runner, names=())
