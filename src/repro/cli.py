@@ -32,9 +32,11 @@ Resilience controls (any experiment command)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import obs
 from repro.core.diff import diff_profiles, render_diff
 from repro.core.pics import Granularity
 from repro.core.samplers import make_sampler
@@ -45,6 +47,8 @@ from repro.engine import (
     RunLog,
     RunStore,
     SuiteExecutionError,
+    read_run_log,
+    summarize_records_json,
     summarize_run_log,
 )
 from repro.experiments import ExperimentRunner
@@ -245,21 +249,62 @@ def prewarm(runner, commands, resume: bool = False) -> None:
 def cmd_stats(args) -> int:
     """``tea-repro stats``: summarise the run store and telemetry log."""
     store = None if args.no_store else RunStore(args.store)
+    log_path = args.run_log
+    if log_path is None and store is not None:
+        log_path = store.root / DEFAULT_RUN_LOG_NAME
+    if getattr(args, "json", False):
+        doc = {
+            "store": (
+                {
+                    "root": str(store.root),
+                    "entries": len(store),
+                    "size_bytes": store.size_bytes(),
+                }
+                if store is not None
+                else None
+            ),
+            "run_log": str(log_path) if log_path is not None else None,
+            "summary": (
+                summarize_records_json(read_run_log(log_path))
+                if log_path is not None
+                else None
+            ),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     if store is not None:
         entries = len(store)
         print(
             f"store: {store.root} -- {entries} cached run(s), "
             f"{store.size_bytes() / 1e6:.2f} MB"
         )
-    log_path = args.run_log
-    if log_path is None and store is not None:
-        log_path = store.root / DEFAULT_RUN_LOG_NAME
     if log_path is None:
         print("run log: none (store disabled and no --run-log given)")
         return 0
     print(f"run log: {log_path}")
     print(summarize_run_log(log_path))
     return 0
+
+
+def _finish_obs(args, engine: Engine | None = None) -> None:
+    """End-of-command observability export (no-op while disabled).
+
+    Appends the collected spans/counters to the engine run log (when
+    one is attached), writes the Chrome trace file named by
+    ``--trace-out``, and closes the buffered run-log handle.
+    """
+    if engine is not None and engine.run_log is not None:
+        if obs.enabled():
+            engine.run_log.record_obs(
+                obs.COLLECTOR.snapshot(), obs.COUNTERS
+            )
+        engine.run_log.close()
+    if not obs.enabled():
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        count = obs.export_chrome_trace(trace_out)
+        print(f"wrote {trace_out} ({count} trace event(s))")
 
 
 # ----------------------------------------------------------------------
@@ -356,6 +401,7 @@ def cmd_profile(args) -> int:
                 for state, share in stack.items()
             )
         )
+    _finish_obs(args)
     return 0
 
 
@@ -423,6 +469,7 @@ def cmd_figures(args) -> int:
     written = render_all(runner, args.out)
     for path in written:
         print(f"wrote {path}")
+    _finish_obs(args, engine)
     return 0
 
 
@@ -563,6 +610,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-run-log", action="store_true",
         help="disable run telemetry",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable observability and write a Chrome trace-event "
+        "JSON (open in Perfetto or chrome://tracing)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in sorted(EXPERIMENTS) + ["all"]:
@@ -586,6 +638,13 @@ def main(argv: list[str] | None = None) -> int:
     profile_parser.add_argument(
         "--stats", action="store_true",
         help="print the full machine-statistics summary",
+    )
+    # SUPPRESS keeps the subparser from clobbering the main-parser
+    # value, so both flag positions work.
+    profile_parser.add_argument(
+        "--trace-out", default=argparse.SUPPRESS, metavar="PATH",
+        help="enable observability and write a Chrome trace-event "
+        "JSON of the run (core pipeline-stage tracks included)",
     )
 
     advise_parser = sub.add_parser(
@@ -625,8 +684,12 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="results/REPORT.md", help="output file"
     )
 
-    sub.add_parser(
+    stats_parser = sub.add_parser(
         "stats", help="summarise the run store and telemetry log"
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as machine-readable JSON",
     )
 
     bench_parser = sub.add_parser(
@@ -671,6 +734,9 @@ def main(argv: list[str] | None = None) -> int:
             "--resume needs the run store (drop --no-store)"
         )
 
+    if getattr(args, "trace_out", None):
+        obs.enable()
+
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "advise":
@@ -700,6 +766,7 @@ def main(argv: list[str] | None = None) -> int:
                 prewarm(runner, ["report"], resume=args.resume)
             path = write_report(runner, args.out)
             print(f"wrote {path}")
+            _finish_obs(args, engine)
             return 0
 
         if engine.jobs > 1 or args.resume:
@@ -725,6 +792,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             continue
         print(f"[{name}: {time.time() - start:.1f}s]\n")
+    _finish_obs(args, engine)
     return 1 if failed else 0
 
 

@@ -59,9 +59,12 @@ from repro.engine.telemetry import (
     DEFAULT_RUN_LOG_NAME,
     RunLog,
     RunMetrics,
+    aggregate_records,
     compare_bench,
     read_bench_file,
     read_run_log,
+    summarize_records,
+    summarize_records_json,
     summarize_run_log,
     write_bench_file,
 )
@@ -90,6 +93,7 @@ __all__ = [
     "SuiteResult",
     "TECHNIQUES",
     "WorkloadBench",
+    "aggregate_records",
     "backoff_delay",
     "build_workload",
     "canonical",
@@ -104,6 +108,8 @@ __all__ = [
     "run_workload",
     "simulate_spec",
     "simulate_to_payload",
+    "summarize_records",
+    "summarize_records_json",
     "summarize_run_log",
     "write_bench_file",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Mapping
 
+from repro import obs
 from repro.engine.executor import (
     SuiteExecutionError,
     SuiteExecutor,
@@ -109,21 +110,25 @@ class Engine:
         run = self._memo.get(spec.key)
         if run is not None:
             self._record(spec, run, "memo", 0.0)
+            obs.COUNTERS.inc("engine.memo_hits")
             return run
         start = time.perf_counter()
-        workload = build_workload(spec)
-        payload = (
-            self.store.load(spec) if self.store is not None else None
-        )
-        if payload is not None:
-            run = run_from_payload(payload, workload)
-            source = "store"
-        else:
-            run = simulate_spec(spec, workload)
-            self.simulations += 1
-            source = "simulated"
-            if self.store is not None:
-                self.store.save(spec, run_to_payload(spec, run))
+        with obs.span(f"engine.run:{spec.workload}", key=spec.key):
+            workload = build_workload(spec)
+            payload = (
+                self.store.load(spec) if self.store is not None else None
+            )
+            if payload is not None:
+                run = run_from_payload(payload, workload)
+                source = "store"
+                obs.COUNTERS.inc("engine.store_hits")
+            else:
+                run = simulate_spec(spec, workload)
+                self.simulations += 1
+                source = "simulated"
+                obs.COUNTERS.inc("engine.simulations")
+                if self.store is not None:
+                    self.store.save(spec, run_to_payload(spec, run))
         self._memo[spec.key] = run
         self._record(spec, run, source, time.perf_counter() - start)
         return run
@@ -181,6 +186,7 @@ class Engine:
             run = self._memo.get(spec.key)
             if run is not None:
                 self._record(spec, run, "memo", 0.0)
+                obs.COUNTERS.inc("engine.memo_hits")
                 runs[label] = run
             else:
                 pending[label] = spec
@@ -203,6 +209,7 @@ class Engine:
                 if payload is not None:
                     run = run_from_payload(payload, build_workload(spec))
                     self._memo[spec.key] = run
+                    obs.COUNTERS.inc("engine.store_hits")
                     self._record(
                         spec, run, "store", time.perf_counter() - start
                     )
@@ -211,7 +218,12 @@ class Engine:
                     seen_keys.add(spec.key)
 
             if missing:
-                report = self._execute_missing(missing, jobs)
+                with obs.span(
+                    "engine.run_suite",
+                    labels=len(missing),
+                    jobs=jobs,
+                ):
+                    report = self._execute_missing(missing, jobs)
                 self.last_suite_report = report
                 if self.run_log is not None:
                     self.run_log.record_suite(report)
@@ -239,6 +251,7 @@ class Engine:
             spec = missing[label]
             run = run_from_payload(payload, build_workload(spec))
             self.simulations += 1
+            obs.COUNTERS.inc("engine.simulations")
             if self.store is not None:
                 self.store.save(spec, payload)
             self._memo[spec.key] = run

@@ -46,6 +46,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro import obs
 from repro.engine.runs import run_to_payload, simulate_spec
 from repro.engine.spec import RunSpec
 
@@ -253,6 +254,7 @@ class _WorkerOutcome:
     error: str | None  # formatted traceback, captured in the worker
     cause: str | None  # "ExcType: message"
     wall_s: float
+    obs: list | None = None  # trace events collected during the run
 
 
 def _run_captured(
@@ -262,12 +264,20 @@ def _run_captured(
     """Run *fn* on *item*, capturing any exception where it happened.
 
     Runs inside the worker process, so ``error`` carries the remote
-    traceback -- not the parent's re-raise site.
+    traceback -- not the parent's re-raise site. With observability on,
+    trace events recorded during the run (including the ``run:<label>``
+    span itself, stamped with the *worker's* pid) are drained from a
+    pre-run mark -- so state inherited over ``fork`` is not re-shipped
+    -- and travel back on the outcome for the parent to merge into one
+    suite-wide timeline.
     """
     label = item[0]
     start = time.perf_counter()
+    instrumented = obs.enabled()
+    mark = obs.COLLECTOR.mark() if instrumented else 0
     try:
-        _, payload = fn(item)
+        with obs.span(f"run:{label}"):
+            _, payload = fn(item)
     except Exception as exc:
         return _WorkerOutcome(
             label=label,
@@ -275,6 +285,7 @@ def _run_captured(
             error=traceback.format_exc(),
             cause=f"{type(exc).__name__}: {exc}",
             wall_s=time.perf_counter() - start,
+            obs=obs.COLLECTOR.drain_from(mark) if instrumented else None,
         )
     return _WorkerOutcome(
         label=label,
@@ -282,7 +293,14 @@ def _run_captured(
         error=None,
         cause=None,
         wall_s=time.perf_counter() - start,
+        obs=obs.COLLECTOR.drain_from(mark) if instrumented else None,
     )
+
+
+def _instant(name: str, **args: Any) -> None:
+    """Record an executor lifecycle instant (no-op while disabled)."""
+    if obs.enabled():
+        obs.COLLECTOR.add_instant(name, args or None, cat="executor")
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -414,20 +432,35 @@ class SuiteExecutor:
         for item in items:
             label = item[0]
             for attempt in range(1, self.retries + 2):
+                _instant(f"dispatch:{label}", attempt=attempt)
                 outcome = _run_captured(self.fn, item)
+                # Serial runs drained their own events out of the
+                # collector; put them back on the shared timeline.
+                obs.COLLECTOR.ingest(outcome.obs)
                 if outcome.error is None:
                     payloads[label] = outcome.payload
                     report.outcomes[label] = LabelOutcome(
                         label, STATUS_OK, attempt, outcome.wall_s
                     )
+                    obs.COUNTERS.inc("executor.runs_ok")
                     self._emit(label, outcome.payload)
                     break
                 if attempt <= self.retries:
                     report.retries += 1
+                    obs.COUNTERS.inc("executor.retries")
+                    _instant(
+                        f"retry:{label}",
+                        attempt=attempt,
+                        cause=outcome.cause,
+                    )
                     delay = self._delay(attempt + 1, label)
                     if delay > 0:
-                        time.sleep(delay)
+                        with obs.span(
+                            f"backoff:{label}", delay_s=round(delay, 6)
+                        ):
+                            time.sleep(delay)
                 else:
+                    obs.COUNTERS.inc("executor.runs_failed")
                     report.outcomes[label] = LabelOutcome(
                         label,
                         STATUS_FAILED,
@@ -460,6 +493,7 @@ class SuiteExecutor:
         ) -> None:
             nonlocal seq
             report.retries += 1
+            obs.COUNTERS.inc("executor.retries")
             seq += 1
             delay = self._delay(failed_attempt + 1, item[0])
             heapq.heappush(
@@ -485,6 +519,7 @@ class SuiteExecutor:
                         ready.appendleft((item, attempt))
                         broken = True
                         break
+                    _instant(f"dispatch:{item[0]}", attempt=attempt)
                     running[future] = (item, attempt, time.monotonic())
 
                 if not broken:
@@ -512,9 +547,13 @@ class SuiteExecutor:
                     for item, attempt, _ in running.values():
                         ready.append((item, attempt))
                     running.clear()
-                    _terminate_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    with obs.span(
+                        "pool.recreate", workers=workers
+                    ):
+                        _terminate_pool(pool)
+                        pool = ProcessPoolExecutor(max_workers=workers)
                     report.pool_recreations += 1
+                    obs.COUNTERS.inc("executor.pool_recreations")
         finally:
             _terminate_pool(pool)
         return SuiteResult(payloads=payloads, report=report)
@@ -585,15 +624,25 @@ class SuiteExecutor:
                         traceback=traceback.format_exc(),
                     )
                 continue
+            # Worker-side span events travelled back on the outcome;
+            # merge them into the parent's timeline.
+            obs.COLLECTOR.ingest(outcome.obs)
             if outcome.error is None:
                 payloads[label] = outcome.payload
                 report.outcomes[label] = LabelOutcome(
                     label, STATUS_OK, attempt, outcome.wall_s
                 )
+                obs.COUNTERS.inc("executor.runs_ok")
                 self._emit(label, outcome.payload)
             elif attempt <= self.retries:
+                _instant(
+                    f"retry:{label}",
+                    attempt=attempt,
+                    cause=outcome.cause,
+                )
                 schedule_retry(item, attempt)
             else:
+                obs.COUNTERS.inc("executor.runs_failed")
                 report.outcomes[label] = LabelOutcome(
                     label,
                     STATUS_FAILED,
@@ -628,6 +677,12 @@ class SuiteExecutor:
             item, attempt, started = running.pop(future)
             label = item[0]
             report.timeouts += 1
+            obs.COUNTERS.inc("executor.timeouts")
+            _instant(
+                f"timeout:{label}",
+                attempt=attempt,
+                limit_s=self.timeout,
+            )
             cause = (
                 f"timed out after {self.timeout:.1f}s "
                 f"(worker cancelled)"

@@ -12,6 +12,7 @@ exactly these counters).
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -79,17 +80,63 @@ class RunMetrics:
 
 
 class RunLog:
-    """Append-only JSONL sink for :class:`RunMetrics` records."""
+    """Append-only JSONL sink for :class:`RunMetrics` records.
 
-    def __init__(self, path: str | Path) -> None:
+    The log holds one lazily opened append-mode handle instead of
+    reopening the file for every line (which a busy suite pays
+    hundreds of times). Each record is written as one complete line
+    and flushed immediately, so the append stays a single ``write``
+    of a full line -- concurrent writers (parallel suites logging to
+    a shared store) still interleave at line granularity, never
+    mid-record.
+
+    Args:
+        path: Destination JSONL file (parents are created).
+        buffered: Keep the handle open across records (default). When
+            false, every record reopens the file -- the pre-existing
+            behaviour, still useful when the log lives on a filesystem
+            where long-lived handles are a liability.
+    """
+
+    def __init__(self, path: str | Path, buffered: bool = True) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.buffered = bool(buffered)
+        self._handle: Any = None
 
+    # -- handle management ---------------------------------------------
+    def _write_line(self, line: str) -> None:
+        if not self.buffered:
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def flush(self) -> None:
+        """Flush the buffered handle (no-op when nothing is open)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the buffered handle; safe to call repeatedly."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- record emission -----------------------------------------------
     def record(self, metrics: RunMetrics) -> None:
         """Append one metrics record as a JSON line."""
-        line = json.dumps(metrics.to_json(), sort_keys=True)
-        with open(self.path, "a") as handle:
-            handle.write(line + "\n")
+        self._write_line(json.dumps(metrics.to_json(), sort_keys=True))
 
     def record_suite(self, report) -> None:
         """Append one suite-execution record as a JSON line.
@@ -104,8 +151,38 @@ class RunLog:
         """
         doc = {"kind": "suite", "timestamp": time.time()}
         doc.update(report.to_json())
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._write_line(json.dumps(doc, sort_keys=True))
+
+    def record_obs(
+        self,
+        events: list[dict[str, Any]],
+        registry: Any = None,
+    ) -> int:
+        """Append observability records; returns how many were written.
+
+        Trace events become ``"kind": "span"`` / ``"kind": "counters"``
+        lines (see :func:`repro.obs.export.events_to_jsonl`); when a
+        counter *registry* is given, its snapshot is appended as one
+        final ``"kind": "counters"`` record named
+        ``"registry.snapshot"``.
+        """
+        from repro.obs.export import events_to_jsonl
+
+        records = events_to_jsonl(events)
+        if registry is not None:
+            snapshot = registry.snapshot()
+            if any(snapshot.values()):
+                records.append(
+                    {
+                        "kind": "counters",
+                        "name": "registry.snapshot",
+                        "ts": int(time.time() * 1e6),
+                        "args": snapshot,
+                    }
+                )
+        for record in records:
+            self._write_line(json.dumps(record, sort_keys=True))
+        return len(records)
 
 
 def read_run_log(path: str | Path) -> list[dict[str, Any]]:
@@ -126,23 +203,33 @@ def read_run_log(path: str | Path) -> list[dict[str, Any]]:
     return records
 
 
-def summarize_records(records: Iterable[dict[str, Any]]) -> str:
-    """Render a run-log summary (totals plus a per-workload table)."""
-    from repro.experiments.runner import format_table
+def aggregate_records(
+    records: Iterable[dict[str, Any]],
+) -> dict[str, Any]:
+    """Aggregate run-log records into one JSON-ready summary document.
 
+    Records are partitioned by ``kind``: plain run records (no
+    ``kind``), ``"suite"`` execution reports, and observability
+    records (``"span"`` / ``"counters"``). Throughput aggregates --
+    the overall rate and the per-run geometric mean -- are computed
+    **only over simulated runs**: store and memo hits are near-instant
+    and carry ``cycles_per_sec == 0``, so folding them in would drag
+    every mean toward zero. Cache hits are reported as counts instead.
+    """
     records = list(records)
+    runs = [r for r in records if r.get("kind") is None]
     suites = [r for r in records if r.get("kind") == "suite"]
-    records = [r for r in records if r.get("kind") != "suite"]
-    if not records and not suites:
-        return "run log: empty (no engine runs recorded yet)"
-    if not records:
-        return _summarize_suites(suites)
+    span_count = sum(1 for r in records if r.get("kind") == "span")
+    counter_count = sum(
+        1 for r in records if r.get("kind") == "counters"
+    )
 
     by_source = {source: 0 for source in SOURCES}
     wall_by_source = {source: 0.0 for source in SOURCES}
     sim_cycles = 0
+    log_rates: list[float] = []
     per_workload: dict[str, dict[str, float]] = {}
-    for rec in records:
+    for rec in runs:
         source = rec.get("source", "simulated")
         if source not in by_source:
             by_source[source] = 0
@@ -151,38 +238,123 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
         wall_by_source[source] += float(rec.get("wall_s", 0.0))
         row = per_workload.setdefault(
             rec.get("workload", "?"),
-            {s: 0 for s in SOURCES} | {"wall_s": 0.0, "cycles": 0},
+            {s: 0 for s in SOURCES}
+            | {"wall_s": 0.0, "cycles": 0, "sim_wall_s": 0.0},
         )
         row[source] = row.get(source, 0) + 1
         row["wall_s"] += float(rec.get("wall_s", 0.0))
         if source == "simulated":
-            sim_cycles += int(rec.get("cycles", 0))
-            row["cycles"] += int(rec.get("cycles", 0))
+            cycles = int(rec.get("cycles", 0))
+            wall = float(rec.get("wall_s", 0.0))
+            sim_cycles += cycles
+            row["cycles"] += cycles
+            row["sim_wall_s"] += wall
+            if cycles > 0 and wall > 0:
+                log_rates.append(math.log(cycles / wall))
 
-    sim_wall = wall_by_source["simulated"]
+    sim_wall = wall_by_source.get("simulated", 0.0)
     rate = sim_cycles / sim_wall if sim_wall > 0 else 0.0
-    total = len(records)
-    hits = by_source["store"] + by_source["memo"]
+    geomean = (
+        math.exp(sum(log_rates) / len(log_rates)) if log_rates else 0.0
+    )
+    workloads = {
+        name: {
+            "simulated": int(row["simulated"]),
+            "store": int(row["store"]),
+            "memo": int(row["memo"]),
+            "wall_s": round(row["wall_s"], 6),
+            "sim_cycles": int(row["cycles"]),
+            "sim_cycles_per_sec": round(
+                row["cycles"] / row["sim_wall_s"], 1
+            )
+            if row["sim_wall_s"] > 0
+            else 0.0,
+        }
+        for name, row in sorted(per_workload.items())
+    }
+    doc: dict[str, Any] = {
+        "runs": {
+            "total": len(runs),
+            "by_source": {
+                source: count
+                for source, count in sorted(by_source.items())
+            },
+            "cache_hits": by_source.get("store", 0)
+            + by_source.get("memo", 0),
+            "sim_cycles": sim_cycles,
+            "sim_wall_s": round(sim_wall, 6),
+            "sim_cycles_per_sec": round(rate, 1),
+            "sim_cycles_per_sec_geomean": round(geomean, 1),
+        },
+        "workloads": workloads,
+        "suites": {
+            "executions": len(suites),
+            "retries": sum(int(r.get("retries", 0)) for r in suites),
+            "timeouts": sum(int(r.get("timeouts", 0)) for r in suites),
+            "pool_recreations": sum(
+                int(r.get("pool_recreations", 0)) for r in suites
+            ),
+            "failed_labels": sum(
+                len(r.get("failed", ())) for r in suites
+            ),
+        },
+        "obs": {"spans": span_count, "counters": counter_count},
+    }
+    return doc
+
+
+def summarize_records_json(
+    records: Iterable[dict[str, Any]],
+) -> dict[str, Any]:
+    """The machine-readable run-log summary (``tea-repro stats --json``)."""
+    return aggregate_records(records)
+
+
+def summarize_records(records: Iterable[dict[str, Any]]) -> str:
+    """Render a run-log summary (totals plus a per-workload table)."""
+    from repro.experiments.runner import format_table
+
+    records = list(records)
+    agg = aggregate_records(records)
+    suites = [r for r in records if r.get("kind") == "suite"]
+    runs = agg["runs"]
+    obs_counts = agg["obs"]
+    have_obs = obs_counts["spans"] or obs_counts["counters"]
+    if not runs["total"] and not suites and not have_obs:
+        return "run log: empty (no engine runs recorded yet)"
+    if not runs["total"]:
+        lines = []
+        if suites:
+            lines.append(_summarize_suites(suites))
+        if have_obs:
+            lines.append(_summarize_obs(obs_counts))
+        return "\n".join(lines)
+
+    by_source = runs["by_source"]
+    total = runs["total"]
     lines = [
         f"run log: {total} run(s) -- "
-        f"{by_source['simulated']} simulated, "
-        f"{by_source['store']} store hit(s), "
-        f"{by_source['memo']} memo hit(s) "
-        f"({hits / total:.0%} cached)",
-        f"simulated: {sim_cycles:,} cycles in {sim_wall:.2f}s wall "
-        f"({rate:,.0f} cycles/s)",
+        f"{by_source.get('simulated', 0)} simulated, "
+        f"{by_source.get('store', 0)} store hit(s), "
+        f"{by_source.get('memo', 0)} memo hit(s) "
+        f"({runs['cache_hits'] / total:.0%} cached)",
+        f"simulated: {runs['sim_cycles']:,} cycles in "
+        f"{runs['sim_wall_s']:.2f}s wall "
+        f"({runs['sim_cycles_per_sec']:,.0f} cycles/s, "
+        f"geomean {runs['sim_cycles_per_sec_geomean']:,.0f} cycles/s "
+        f"over simulated runs only)",
         "",
     ]
     rows = [
         [
             name,
-            str(int(row["simulated"])),
-            str(int(row["store"])),
-            str(int(row["memo"])),
+            str(row["simulated"]),
+            str(row["store"]),
+            str(row["memo"]),
             f"{row['wall_s']:.2f}s",
-            f"{int(row['cycles']):,}",
+            f"{row['sim_cycles']:,}",
         ]
-        for name, row in sorted(per_workload.items())
+        for name, row in agg["workloads"].items()
     ]
     lines.append(
         format_table(
@@ -194,7 +366,18 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     if suites:
         lines.append("")
         lines.append(_summarize_suites(suites))
+    if have_obs:
+        lines.append("")
+        lines.append(_summarize_obs(obs_counts))
     return "\n".join(lines)
+
+
+def _summarize_obs(obs_counts: Mapping[str, int]) -> str:
+    """One-line summary of the observability records in the log."""
+    return (
+        f"obs: {obs_counts['spans']} span record(s), "
+        f"{obs_counts['counters']} counter record(s)"
+    )
 
 
 def _summarize_suites(suites: list[dict[str, Any]]) -> str:

@@ -1,0 +1,84 @@
+"""Observability: spans, counters, and simulator self-profiling.
+
+TEA's whole point is explaining where time goes; ``repro.obs`` applies
+the same discipline to the reproduction itself. Three cooperating
+pieces, all **off by default** and zero-overhead while disabled:
+
+* :mod:`repro.obs.spans` -- a lightweight span/trace API
+  (``obs.span("decode")`` context manager, :func:`traced` decorator)
+  feeding a process-global, thread-safe :class:`SpanCollector`;
+* :mod:`repro.obs.counters` -- a :class:`CounterRegistry` of counters,
+  gauges, and histograms the core and suite executor report into;
+* :mod:`repro.obs.stageprof` -- :class:`StageProfiler`, wall time per
+  core pipeline stage per N-cycle window.
+
+Exports land in two places: Chrome trace-event JSON for Perfetto /
+``chrome://tracing`` (:func:`export_chrome_trace`), and ``"kind":
+"span"`` / ``"kind": "counters"`` JSONL records merged into the engine
+run log (:func:`events_to_jsonl`).
+
+Enable with ``REPRO_OBS=1`` or :func:`enable`; the CLI's
+``--trace-out`` flag does it for you.
+"""
+
+from repro.obs.counters import COUNTERS, CounterRegistry, counters
+from repro.obs.export import (
+    chrome_trace_doc,
+    events_to_jsonl,
+    export_chrome_trace,
+    read_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.spans import (
+    COLLECTOR,
+    OBS_ENV,
+    Span,
+    SpanCollector,
+    collector,
+    disable,
+    enable,
+    enabled,
+    now_us,
+    span,
+    traced,
+)
+from repro.obs.stageprof import (
+    DEFAULT_WINDOW_CYCLES,
+    STAGES,
+    WINDOW_ENV,
+    StageProfiler,
+    window_cycles_default,
+)
+
+__all__ = [
+    "COLLECTOR",
+    "COUNTERS",
+    "CounterRegistry",
+    "DEFAULT_WINDOW_CYCLES",
+    "OBS_ENV",
+    "STAGES",
+    "Span",
+    "SpanCollector",
+    "StageProfiler",
+    "WINDOW_ENV",
+    "chrome_trace_doc",
+    "collector",
+    "counters",
+    "disable",
+    "enable",
+    "enabled",
+    "events_to_jsonl",
+    "export_chrome_trace",
+    "now_us",
+    "read_chrome_trace",
+    "span",
+    "traced",
+    "validate_chrome_trace",
+    "window_cycles_default",
+]
+
+
+def reset() -> None:
+    """Clear collected events and metrics (test/tooling helper)."""
+    COLLECTOR.clear()
+    COUNTERS.clear()

@@ -1,0 +1,123 @@
+"""Counter and histogram registry of :mod:`repro.obs`.
+
+One process-global :class:`CounterRegistry` with three metric kinds:
+
+* **counters** -- monotonically increasing totals (:meth:`inc`);
+* **gauges** -- last-value-wins measurements (:meth:`gauge`);
+* **histograms** -- count/sum/min/max summaries (:meth:`observe`).
+
+The core reports per-pipeline-stage occupancy, stall causes keyed by
+the four commit states, cache/TLB hit rates, and sampler overhead here
+at the end of an instrumented run; :meth:`sample` additionally emits a
+Chrome ``"C"`` counter event into the span collector so the values
+render as counter tracks in Perfetto.
+
+Every mutator no-ops while instrumentation is disabled, mirroring the
+span fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.obs import spans as _spans
+
+
+class CounterRegistry:
+    """Thread-safe registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # name -> [count, sum, min, max]
+        self._hists: dict[str, list[float]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add *value* to the counter *name* (no-op when disabled)."""
+        if not _spans._ENABLED:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value* (no-op when disabled)."""
+        if not _spans._ENABLED:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation (no-op when disabled)."""
+        if not _spans._ENABLED:
+            return
+        value = float(value)
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1.0, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                if value < hist[2]:
+                    hist[2] = value
+                if value > hist[3]:
+                    hist[3] = value
+
+    def sample(
+        self, name: str, values: dict[str, float],
+        ts_us: int | None = None,
+    ) -> None:
+        """Set gauges for *values* and emit one Chrome counter event.
+
+        The event lands in the span collector under *name*, rendering
+        as a counter track in Perfetto; each key of *values* becomes
+        one series of the track (and the gauge ``f"{name}.{key}"``).
+        """
+        if not _spans._ENABLED:
+            return
+        with self._lock:
+            for key, value in values.items():
+                self._gauges[f"{name}.{key}"] = float(value)
+        _spans.COLLECTOR.add_counter(name, values, ts_us=ts_us)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready copy of every metric."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {
+                        "count": int(hist[0]),
+                        "sum": hist[1],
+                        "min": hist[2],
+                        "max": hist[3],
+                    }
+                    for name, hist in self._hists.items()
+                },
+            }
+
+    def get(self, name: str) -> float | None:
+        """The current value of a counter or gauge, if recorded."""
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            return self._gauges.get(name)
+
+    def clear(self) -> None:
+        """Discard every metric."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+#: The process-global registry the core and executor report into.
+COUNTERS = CounterRegistry()
+
+
+def counters() -> CounterRegistry:
+    """The process-global :class:`CounterRegistry`."""
+    return COUNTERS

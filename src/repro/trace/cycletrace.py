@@ -99,11 +99,21 @@ class CycleTrace:
             for seq, index, psv in uops:
                 self._file.write(_COMMIT_ENTRY.pack(seq, index, psv))
 
-    def close(self) -> None:
-        """Close the backing file, if any."""
+    @property
+    def closed(self) -> bool:
+        """True when no backing file is open (in-memory or closed)."""
+        return self._file is None
+
+    def flush(self) -> None:
+        """Flush the backing file's buffers, if one is open."""
         if self._file is not None:
-            self._file.close()
-            self._file = None
+            self._file.flush()
+
+    def close(self) -> None:
+        """Close the backing file, if any; safe to call repeatedly."""
+        handle, self._file = self._file, None
+        if handle is not None:
+            handle.close()
 
 
 def read_trace(path: str | Path) -> list[CyclesRecord | CommitRecord]:

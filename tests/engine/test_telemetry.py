@@ -204,3 +204,182 @@ def test_summary_of_suite_only_log():
     rec = {"kind": "suite", **SuiteReport().to_json()}
     text = summarize_records([rec])
     assert "suites: 1 execution(s)" in text
+
+
+# ----------------------------------------------------------------------
+# Buffered run-log handle.
+# ----------------------------------------------------------------------
+def test_run_log_keeps_one_handle_and_flushes_per_line(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    handle = log._handle
+    assert handle is not None  # opened lazily, kept across records
+    log.record(metrics(source="memo", wall_s=0.0))
+    assert log._handle is handle  # not reopened per line
+    # Per-line flush: both records durable before close.
+    assert len(read_run_log(path)) == 2
+    log.close()
+    assert log._handle is None
+    log.close()  # idempotent
+
+
+def test_run_log_reopens_after_close(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    log.close()
+    log.record(metrics(source="store", wall_s=0.1))  # reopens append
+    log.close()
+    assert [r["source"] for r in read_run_log(path)] == [
+        "simulated", "store",
+    ]
+
+
+def test_run_log_context_manager_closes(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record(metrics())
+        assert log._handle is not None
+    assert log._handle is None
+    assert len(read_run_log(path)) == 1
+
+
+def test_run_log_unbuffered_mode(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path, buffered=False)
+    log.record(metrics())
+    assert log._handle is None  # open/append/close per record
+    log.flush()  # no-ops without an open handle
+    log.close()
+    assert len(read_run_log(path)) == 1
+
+
+def test_concurrent_writers_interleave_at_line_granularity(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    first = RunLog(path)
+    second = RunLog(path)  # e.g. another process appending
+    first.record(metrics())
+    second.record(metrics(source="store", wall_s=0.1))
+    first.record(metrics(source="memo", wall_s=0.0))
+    first.close()
+    second.close()
+    records = read_run_log(path)
+    assert [r["source"] for r in records] == [
+        "simulated", "store", "memo",
+    ]
+
+
+def test_record_obs_appends_span_and_counter_lines(tmp_path):
+    from repro.obs.counters import CounterRegistry
+
+    path = tmp_path / "runs.jsonl"
+    log = RunLog(path)
+    log.record(metrics())
+    written = log.record_obs(
+        [
+            {"name": "run:lbm", "ph": "X", "ts": 1, "dur": 2,
+             "pid": 1, "tid": 1},
+            {"name": "thread_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 9000, "args": {"name": "stage:commit"}},
+            {"name": "rates", "ph": "C", "ts": 1, "pid": 1, "tid": 0,
+             "args": {"l1d": 0.9}},
+        ],
+        registry=None,
+    )
+    log.close()
+    assert written == 2  # metadata dropped
+    kinds = [r.get("kind") for r in read_run_log(path)]
+    assert kinds == [None, "span", "counters"]
+    registry = CounterRegistry()
+    # An all-empty registry snapshot adds no record.
+    log2 = RunLog(tmp_path / "other.jsonl")
+    assert log2.record_obs([], registry=registry) == 0
+    log2.close()
+
+
+# ----------------------------------------------------------------------
+# Aggregation: geomean excludes cache hits; stats --json.
+# ----------------------------------------------------------------------
+_GOLDEN_RECORDS = [
+    {"workload": "lbm", "source": "simulated", "wall_s": 2.0,
+     "cycles": 100_000},
+    {"workload": "lbm", "source": "store", "wall_s": 0.01,
+     "cycles": 100_000},
+    {"workload": "nab", "source": "simulated", "wall_s": 1.0,
+     "cycles": 200_000},
+    {"workload": "nab", "source": "memo", "wall_s": 0.0,
+     "cycles": 200_000},
+    {"kind": "suite", "retries": 2, "timeouts": 1,
+     "pool_recreations": 0, "failed": ["xz"]},
+    {"kind": "span", "name": "run:lbm", "ph": "X", "ts": 0, "dur": 5,
+     "pid": 1, "tid": 1},
+    {"kind": "counters", "name": "rates", "ph": "C", "ts": 0,
+     "pid": 1, "tid": 0, "args": {"x": 1}},
+]
+
+
+def test_geomean_excludes_cache_hits():
+    """Store/memo hits are near-instant (0 cycles/s); folding them into
+    the throughput mean would drag it toward zero."""
+    from repro.engine.telemetry import aggregate_records
+
+    agg = aggregate_records(_GOLDEN_RECORDS)
+    runs = agg["runs"]
+    # Geomean over the two simulated runs only: sqrt(50k * 200k).
+    assert runs["sim_cycles_per_sec_geomean"] == pytest.approx(
+        100_000.0
+    )
+    assert runs["cache_hits"] == 2
+    # Per-workload throughput divides by *simulated* wall only.
+    assert agg["workloads"]["lbm"]["sim_cycles_per_sec"] == (
+        pytest.approx(50_000.0)
+    )
+
+
+def test_stats_json_matches_golden_file():
+    import pathlib
+
+    from repro.engine import summarize_records_json
+
+    golden_path = (
+        pathlib.Path(__file__).parent / "data" / "stats_golden.json"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert summarize_records_json(_GOLDEN_RECORDS) == golden
+
+
+def test_summary_text_with_mixed_kind_records():
+    text = summarize_records(_GOLDEN_RECORDS)
+    assert "4 run(s)" in text  # span/counter lines don't count as runs
+    assert "2 simulated" in text
+    assert "geomean 100,000 cycles/s" in text
+    assert "suites: 1 execution(s)" in text
+    assert "obs: 1 span record(s), 1 counter record(s)" in text
+
+
+def test_summary_of_obs_only_log():
+    text = summarize_records([_GOLDEN_RECORDS[-2], _GOLDEN_RECORDS[-1]])
+    assert "obs: 1 span record(s), 1 counter record(s)" in text
+    assert "run(s) --" not in text
+
+
+def test_cmd_stats_json_empty_log(tmp_path, capsys):
+    code = main(
+        [
+            "--no-store",
+            "--run-log", str(tmp_path / "missing.jsonl"),
+            "stats", "--json",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["store"] is None
+    assert doc["summary"]["runs"]["total"] == 0
+    assert doc["summary"]["suites"]["executions"] == 0
+
+
+def test_cmd_stats_json_without_log(capsys):
+    assert main(["--no-store", "stats", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == {"store": None, "run_log": None, "summary": None}

@@ -1,0 +1,14 @@
+"""Observability tests share the process-global collector/registry;
+every test starts clean and leaves instrumentation disabled."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_clean():
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,102 @@
+"""Instrumented core loop: bit-identical results plus stage telemetry."""
+
+import pytest
+
+from repro import obs
+from repro.core.samplers import make_sampler
+from repro.uarch.core import simulate
+from repro.workloads import build
+
+
+def run_once(name="exchange2", scale=0.05, period=293):
+    wl = build(name, scale=scale)
+    sampler = make_sampler("TEA", period)
+    result = simulate(
+        wl.program, samplers=[sampler], arch_state=wl.fresh_state()
+    )
+    return result, sampler
+
+
+def test_profiled_run_is_bit_identical():
+    baseline, base_sampler = run_once()
+    obs.enable()
+    profiled, prof_sampler = run_once()
+    assert profiled.cycles == baseline.cycles
+    assert profiled.committed == baseline.committed
+    assert profiled.golden_raw == baseline.golden_raw
+    assert (
+        prof_sampler.profile().stacks == base_sampler.profile().stacks
+    )
+
+
+def test_profiled_run_emits_stage_spans_and_counters():
+    obs.enable()
+    result, _ = run_once()
+    events = obs.COLLECTOR.snapshot()
+
+    run_spans = [
+        e for e in events
+        if e["ph"] == "X" and e["name"].startswith("core.run:")
+    ]
+    assert len(run_spans) == 1
+
+    stage_spans = {
+        e["name"]
+        for e in events
+        if e["ph"] == "X" and e.get("cat") == "core-stage"
+    }
+    # The busiest stages must always appear; idle only on ff workloads.
+    assert {"stage:commit", "stage:fetch", "stage:issue"} <= stage_spans
+
+    counter_tracks = {e["name"] for e in events if e["ph"] == "C"}
+    assert any(
+        name.endswith(".throughput") for name in counter_tracks
+    )
+    assert any(name.endswith(".stage_ms") for name in counter_tracks)
+    assert any(name.endswith(".occupancy") for name in counter_tracks)
+
+    snap = obs.COUNTERS.snapshot()
+    assert snap["counters"]["core.cycles"] == result.cycles
+    assert snap["counters"]["core.committed"] == result.committed
+    # Commit-state occupancy is keyed by the four commit states.
+    states = {
+        key for key in snap["counters"] if key.startswith("core.state.")
+    }
+    assert "core.state.compute" in states
+    # Cache/TLB hit rates land as gauges in [0, 1].
+    for label in ("l1i", "l1d", "llc", "itlb", "dtlb"):
+        rate = snap["gauges"][f"mem.{label}.hit_rate"]
+        assert 0.0 <= rate <= 1.0
+    # Sampler overhead accounting.
+    sampler_counts = [
+        value
+        for key, value in snap["counters"].items()
+        if key.startswith("sampler.") and key.endswith(".samples")
+    ]
+    assert sampler_counts and sampler_counts[0] > 0
+
+
+def test_window_flushing_produces_multiple_windows():
+    obs.enable()
+    from repro.obs.stageprof import StageProfiler
+
+    prof = StageProfiler("unit", window_cycles=100)
+    for cycle in range(0, 500, 100):
+        prof.add(0, 0.001)
+        prof.occupancy(8, 4, 2, 1, 0, 100)
+        prof.maybe_flush(cycle + 100)
+    prof.finish(500)
+    assert prof.windows_flushed >= 5
+    snap = obs.COUNTERS.snapshot()
+    assert snap["counters"]["core.stage_s.events"] == pytest.approx(
+        0.005
+    )
+    assert snap["gauges"]["core.occupancy.rob"] == pytest.approx(8.0)
+
+
+def test_disabled_run_collects_nothing():
+    obs.disable()
+    run_once()
+    assert len(obs.COLLECTOR) == 0
+    snap = obs.COUNTERS.snapshot()
+    assert snap["counters"] == {} and snap["gauges"] == {}

@@ -1,0 +1,88 @@
+"""Chrome trace-event export: envelope, schema check, JSONL records."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace_doc,
+    events_to_jsonl,
+    export_chrome_trace,
+    read_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def test_doc_normalizes_timestamps_and_names_processes():
+    obs.enable()
+    with obs.span("a"):
+        pass
+    with obs.span("b"):
+        pass
+    doc = chrome_trace_doc()
+    assert doc["displayTimeUnit"] == "ms"
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert min(e["ts"] for e in spans) == 0  # rebased to origin
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+
+
+def test_doc_leaves_collector_events_unmutated():
+    obs.enable()
+    with obs.span("a"):
+        pass
+    before = obs.COLLECTOR.snapshot()
+    chrome_trace_doc()
+    assert obs.COLLECTOR.snapshot() == before  # copies, not views
+
+
+def test_export_and_read_round_trip(tmp_path):
+    obs.enable()
+    with obs.span("run", key="k"):
+        pass
+    obs.COUNTERS.sample("rates", {"l1d": 0.9})
+    path = tmp_path / "deep" / "trace.json"
+    count = export_chrome_trace(path)
+    doc = read_chrome_trace(path)  # raises on schema problems
+    assert len(doc["traceEvents"]) == count
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "C", "M"} <= phases
+
+
+def test_validate_reports_problems():
+    assert validate_chrome_trace([]) == ["document is not a JSON object"]
+    assert validate_chrome_trace({}) == ["missing 'traceEvents' array"]
+    bad = {
+        "traceEvents": [
+            {"name": "", "ph": "X", "ts": -1, "pid": "x", "tid": 0},
+            "not an event",
+            {"name": "ok", "ph": "Z", "ts": 0, "pid": 1, "tid": 1},
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("bad 'name'" in p for p in problems)
+    assert any("bad 'ts'" in p for p in problems)
+    assert any("bad 'pid'" in p for p in problems)
+    assert any("not an object" in p for p in problems)
+    assert any("unknown phase 'Z'" in p for p in problems)
+
+
+def test_read_rejects_invalid_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"traceEvents": [{"ph": "??"}]}))
+    with pytest.raises(ValueError, match="invalid Chrome trace"):
+        read_chrome_trace(path)
+
+
+def test_events_to_jsonl_kinds():
+    obs.enable()
+    with obs.span("work"):
+        pass
+    obs.COLLECTOR.add_instant("tick")
+    obs.COUNTERS.sample("rates", {"x": 1.0})
+    obs.COLLECTOR.add_thread_name(5, "stage:commit")
+    records = events_to_jsonl(obs.COLLECTOR.snapshot())
+    kinds = [r["kind"] for r in records]
+    assert kinds == ["span", "span", "counters"]  # metadata dropped
+    assert all("ph" in r for r in records)

@@ -97,6 +97,53 @@ def test_context_manager_closes_on_error(tmp_path):
     assert len(read_trace(path)) == 1
 
 
+def test_double_close_is_idempotent(tmp_path):
+    """close() twice must not raise or disturb the written bytes."""
+    path = tmp_path / "trace.bin"
+    trace = CycleTrace(path)
+    trace.on_cycles(CommitState.COMPUTE, 2, -1)
+    trace.close()
+    written = path.read_bytes()
+    trace.close()  # second close: no error, no truncation
+    assert trace.closed
+    assert path.read_bytes() == written
+    assert len(read_trace(path)) == 1
+
+
+def test_context_manager_reentry_after_close(tmp_path):
+    """Re-entering a closed trace is a harmless no-op pair."""
+    path = tmp_path / "trace.bin"
+    trace = CycleTrace(path)
+    with trace:
+        trace.on_cycles(CommitState.COMPUTE, 1, -1)
+    assert trace.closed
+    with trace:  # re-entry: exit closes again, which must be a no-op
+        pass
+    assert trace.closed
+    assert len(read_trace(path)) == 1
+    # Collected in-memory records stay available after close.
+    assert len(trace.records) == 1
+
+
+def test_flush_and_closed_without_backing_file():
+    trace = CycleTrace()
+    assert trace.closed  # no file was ever opened
+    trace.flush()  # no-op, must not raise
+    trace.close()
+    trace.on_cycles(CommitState.COMPUTE, 1, -1)  # in-memory still works
+    assert len(trace.records) == 1
+
+
+def test_flush_makes_records_durable_before_close(tmp_path):
+    path = tmp_path / "trace.bin"
+    trace = CycleTrace(path)
+    trace.on_cycles(CommitState.COMPUTE, 3, -1)
+    trace.flush()
+    assert not trace.closed
+    assert len(read_trace(path)) == 1  # visible pre-close
+    trace.close()
+
+
 def test_replay_flushed_before_first_commit():
     """FLUSHED cycles with no committed instruction yet fall back to
     the drain rule: they are attributed to the next-committing µop."""
