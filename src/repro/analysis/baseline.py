@@ -1,0 +1,124 @@
+"""The committed tea-lint baseline: grandfathered findings.
+
+The baseline is a JSON file of finding keys -- ``(rule, path, symbol)``
+triples plus a mandatory human ``reason`` -- that are known, accepted,
+and silenced. It exists so a new rule can land with the tree it found
+honestly recorded, while any *new* violation still fails the gate.
+
+Keys deliberately omit line numbers: unrelated edits moving a
+grandfathered finding around its file must not resurrect it. One entry
+matches every finding with its key (a symbol-scoped wildcard).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable
+from typing import Any
+
+from repro.analysis.findings import Finding
+
+#: Default baseline file name, looked up at the lint root.
+DEFAULT_BASELINE_NAME = "tealint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted finding keys, each with a justification."""
+
+    entries: dict[tuple[str, str, str], str] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file (missing file = empty baseline).
+
+        Raises:
+            ValueError: On malformed baseline documents.
+        """
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        doc = json.loads(path.read_text())
+        if not isinstance(doc, dict) or "entries" not in doc:
+            raise ValueError(
+                f"{path}: not a tea-lint baseline (no 'entries')"
+            )
+        entries: dict[tuple[str, str, str], str] = {}
+        for item in doc["entries"]:
+            try:
+                key = (item["rule"], item["path"], item["symbol"])
+                reason = item["reason"]
+            except (TypeError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}: baseline entry {item!r} needs rule/path/"
+                    f"symbol/reason"
+                ) from exc
+            entries[key] = reason
+        return cls(entries=entries)
+
+    def save(self, path: Path | str) -> None:
+        """Write the baseline (sorted, one entry per finding key)."""
+        doc = {
+            "comment": (
+                "Grandfathered tea-lint findings. Every entry needs a "
+                "reason; delete entries as their findings are fixed "
+                "(tea-repro lint reports stale ones)."
+            ),
+            "entries": [
+                {
+                    "rule": rule,
+                    "path": file_path,
+                    "symbol": symbol,
+                    "reason": self.entries[(rule, file_path, symbol)],
+                }
+                for rule, file_path, symbol in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+    def matches(self, finding: Finding) -> bool:
+        """True when *finding* is grandfathered."""
+        return finding.key in self.entries
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+        """(active, baselined, unused baseline keys)."""
+        active: list[Finding] = []
+        baselined: list[Finding] = []
+        used: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            if self.matches(finding):
+                baselined.append(finding)
+                used.add(finding.key)
+            else:
+                active.append(finding)
+        unused = sorted(set(self.entries) - used)
+        return active, baselined, unused
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        reasons: dict[tuple[str, str, str], str] | None = None,
+        default_reason: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        """A baseline grandfathering *findings* (``--update-baseline``)."""
+        reasons = reasons or {}
+        entries: dict[tuple[str, str, str], str] = {}
+        for finding in findings:
+            entries[finding.key] = reasons.get(
+                finding.key, default_reason
+            )
+        return cls(entries=entries)
+
+    def to_json(self) -> dict[str, Any]:
+        """Counts for the JSON reporter."""
+        return {"entries": len(self.entries)}
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,10 @@
+"""Checker modules: importing this package populates the registry."""
+
+from repro.analysis.checkers import (  # noqa: F401
+    determinism,
+    mirror,
+    model_version,
+    obs_overhead,
+    slots,
+    worker_safety,
+)

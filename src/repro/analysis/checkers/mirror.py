@@ -1,0 +1,249 @@
+"""TL001 mirror-drift: ``_step_profiled`` must mirror ``step()``.
+
+The instrumented step loop (:meth:`Core._step_profiled`) is a
+statement-level copy of the optimised :meth:`Core.step` with wall-clock
+probes woven between the stages. PR 4 pinned the two bit-identical with
+a runtime test, but a runtime test cannot say *where* a refactor broke
+the mirror. This checker proves the invariant structurally: strip the
+whitelisted instrumentation from the profiled body, strip the
+reference-loop dispatch guard from ``step``, and require the remaining
+statement sequences to be AST-identical -- reporting the first
+diverging statement when they are not.
+
+Whitelisted instrumentation (allowed only in ``_step_profiled``):
+
+* ``perf = perf_counter`` and ``tN = perf()`` timestamp grabs;
+* any expression statement calling a method on the profiler argument
+  (``prof.add(...)``, ``prof.occupancy(...)``, ``prof.maybe_flush(...)``);
+* statements explicitly marked ``# tealint: instrumentation``.
+
+Whitelisted dispatch (allowed only in ``step``): a leading ``if`` whose
+test reads ``self.reference_loop`` (the frozen-loop dispatch).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import re
+from collections.abc import Iterator
+
+from repro.analysis.module import ModuleSource
+from repro.analysis.registry import Rule, checker
+
+#: Timestamp-local naming convention of the profiled loop.
+_TIME_LOCAL = re.compile(r"^(t\d+|perf)$")
+
+#: Statement fields that hold statement lists (recursion points).
+_BODY_FIELDS = ("body", "orelse", "finalbody")
+
+
+def _is_perf_assign(stmt: ast.stmt) -> bool:
+    """``perf = perf_counter`` / ``tN = perf()`` timestamp grabs."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return False
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return False
+    if not _TIME_LOCAL.match(target.id):
+        return False
+    value = stmt.value
+    if isinstance(value, ast.Name) and value.id == "perf_counter":
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        return isinstance(func, ast.Name) and func.id in (
+            "perf",
+            "perf_counter",
+        )
+    return False
+
+
+def _is_prof_call(stmt: ast.stmt, prof_name: str) -> bool:
+    """An expression statement calling a method on the profiler arg."""
+    if not isinstance(stmt, ast.Expr):
+        return False
+    call = stmt.value
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == prof_name
+    )
+
+
+def _is_reference_dispatch(stmt: ast.stmt) -> bool:
+    """``if self.reference_loop: ... return`` at the top of step()."""
+    if not isinstance(stmt, ast.If):
+        return False
+    for node in ast.walk(stmt.test):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "reference_loop"
+        ):
+            return True
+    return False
+
+
+def _strip_docstring(body: list[ast.stmt]) -> list[ast.stmt]:
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        return body[1:]
+    return body
+
+
+def _strip_instrumentation(
+    body: list[ast.stmt], prof_name: str, marked: set[int]
+) -> list[ast.stmt]:
+    """Recursively remove whitelisted instrumentation statements."""
+    out: list[ast.stmt] = []
+    for stmt in body:
+        if stmt.lineno in marked:
+            continue
+        if _is_perf_assign(stmt) or _is_prof_call(stmt, prof_name):
+            continue
+        for field_name in _BODY_FIELDS:
+            inner = getattr(stmt, field_name, None)
+            if inner:
+                setattr(
+                    stmt,
+                    field_name,
+                    _strip_instrumentation(inner, prof_name, marked),
+                )
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                handler.body = _strip_instrumentation(
+                    handler.body, prof_name, marked
+                )
+        out.append(stmt)
+    return out
+
+
+def _dump_flat(stmt: ast.stmt) -> str:
+    """Structural dump of a statement with nested bodies emptied."""
+    clone = copy.deepcopy(stmt)
+    for field_name in _BODY_FIELDS:
+        if getattr(clone, field_name, None):
+            setattr(clone, field_name, [])
+    if getattr(clone, "handlers", None):
+        clone.handlers = []
+    return ast.dump(clone)
+
+
+def _first_divergence(
+    step_body: list[ast.stmt], prof_body: list[ast.stmt]
+) -> tuple[ast.stmt | None, ast.stmt | None] | None:
+    """The first (step stmt, profiled stmt) pair that differs.
+
+    Either element may be None when one body ran out of statements.
+    Recurses into compound statements so the report points at the
+    innermost diverging statement rather than a whole ``if`` block.
+    """
+    for step_stmt, prof_stmt in zip(step_body, prof_body):
+        if ast.dump(step_stmt) == ast.dump(prof_stmt):
+            continue
+        if (
+            type(step_stmt) is type(prof_stmt)
+            and _dump_flat(step_stmt) == _dump_flat(prof_stmt)
+        ):
+            # Same header: the difference is inside a nested body.
+            for field_name in _BODY_FIELDS:
+                inner = _first_divergence(
+                    getattr(step_stmt, field_name, []) or [],
+                    getattr(prof_stmt, field_name, []) or [],
+                )
+                if inner is not None:
+                    return inner
+        return (step_stmt, prof_stmt)
+    if len(step_body) > len(prof_body):
+        return (step_body[len(prof_body)], None)
+    if len(prof_body) > len(step_body):
+        return (None, prof_body[len(step_body)])
+    return None
+
+
+def _profiler_arg(fn: ast.FunctionDef) -> str:
+    """Name of the profiler parameter (second positional arg)."""
+    args = fn.args.args
+    return args[1].arg if len(args) > 1 else "prof"
+
+
+@checker(
+    Rule(
+        "TL001",
+        "mirror-drift",
+        "_step_profiled must be step() plus whitelisted "
+        "instrumentation only",
+    )
+)
+def check_mirror(
+    module: ModuleSource,
+) -> Iterator[tuple[int, int, str, str]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, ast.FunctionDef)
+        }
+        step = methods.get("step")
+        profiled = methods.get("_step_profiled")
+        if step is None or profiled is None:
+            continue
+        marked = module.instrumentation_lines()
+        step_body = [
+            stmt
+            for stmt in _strip_docstring(copy.deepcopy(step).body)
+            if not _is_reference_dispatch(stmt)
+        ]
+        prof_body = _strip_instrumentation(
+            _strip_docstring(copy.deepcopy(profiled).body),
+            _profiler_arg(profiled),
+            marked,
+        )
+        divergence = _first_divergence(step_body, prof_body)
+        if divergence is None:
+            continue
+        step_stmt, prof_stmt = divergence
+        if prof_stmt is None and step_stmt is not None:
+            yield (
+                profiled.lineno,
+                profiled.col_offset + 1,
+                f"{node.name}._step_profiled is missing the statement "
+                f"mirroring {node.name}.step line {step_stmt.lineno} "
+                f"({ast.unparse(step_stmt).splitlines()[0][:60]!r})",
+                "re-add the statement; the mirror must contain every "
+                "step() statement in order",
+            )
+        elif step_stmt is None and prof_stmt is not None:
+            yield (
+                prof_stmt.lineno,
+                prof_stmt.col_offset + 1,
+                f"{node.name}._step_profiled has an extra "
+                f"non-instrumentation statement "
+                f"({ast.unparse(prof_stmt).splitlines()[0][:60]!r})",
+                "only perf/prof instrumentation (or '# tealint: "
+                "instrumentation'-marked lines) may be added to the "
+                "mirror",
+            )
+        elif prof_stmt is not None and step_stmt is not None:
+            yield (
+                prof_stmt.lineno,
+                prof_stmt.col_offset + 1,
+                f"{node.name}._step_profiled diverges from "
+                f"{node.name}.step at step() line {step_stmt.lineno}: "
+                f"expected "
+                f"{ast.unparse(step_stmt).splitlines()[0][:48]!r}, "
+                f"found "
+                f"{ast.unparse(prof_stmt).splitlines()[0][:48]!r}",
+                "keep the two loops statement-identical modulo the "
+                "instrumentation whitelist",
+            )

@@ -1,0 +1,75 @@
+"""TL006 model-version: semantics drift must bump MODEL_VERSION.
+
+The :class:`~repro.engine.store.RunStore` trusts that a stored result
+keyed under ``(spec, MODEL_VERSION)`` is still what the simulator
+would produce today. That trust is exactly as good as the discipline
+of bumping :data:`repro.version.MODEL_VERSION` whenever a
+semantics-bearing file changes -- which is the one discipline nothing
+enforced mechanically before this checker.
+
+:mod:`repro.version` pins a content hash for every registered
+semantics file. This project-scope checker re-verifies the pins
+against the working tree on every lint run and turns each
+inconsistency (drifted file without a version bump, stale pins after
+a bump, unpinned registered file, missing file) into an error
+anchored at the pin registry in ``src/repro/version.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectContext, Rule, checker
+from repro.version import check_semantics
+
+#: Repo-relative path of the pin registry (findings anchor here).
+VERSION_MODULE = "src/repro/version.py"
+
+
+def _anchor_line(root: Path) -> int:
+    """Line of the SEMANTIC_HASHES pin block (1 if unreadable)."""
+    path = root / VERSION_MODULE
+    try:
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if line.startswith("SEMANTIC_HASHES"):
+                return lineno
+    except OSError:
+        pass
+    return 1
+
+
+@checker(
+    Rule(
+        "TL006",
+        "model-version",
+        "semantics-file hashes must match the pins for the current "
+        "MODEL_VERSION",
+        scope="project",
+    )
+)
+def check_model_version(ctx: ProjectContext) -> Iterator[Finding]:
+    root = Path(ctx.root)
+    if not (root / VERSION_MODULE).is_file():
+        # Linting a tree that is not this repository (e.g. a fixture
+        # corpus in a temp dir): the pin registry does not apply.
+        return
+    line = _anchor_line(root)
+    for problem in check_semantics(root):
+        yield Finding(
+            rule="TL006",
+            severity="error",
+            path=VERSION_MODULE,
+            line=line,
+            col=1,
+            message=problem,
+            hint=(
+                "bump MODEL_VERSION when behaviour changed, then "
+                "'python -m repro.version --refresh' (use "
+                "--allow-same-version only for cosmetic edits)"
+            ),
+            symbol="SEMANTIC_HASHES",
+        )

@@ -1,0 +1,214 @@
+"""TL004 slots-discipline: hot classes stay dict-free and covered.
+
+PR 3's hot-loop work moved the per-µop and per-access objects onto
+``__slots__`` (a ``Uop`` with a dict costs ~3x the memory and an extra
+dict lookup per attribute touch, millions of times per run). Two ways
+that discipline silently rots:
+
+* someone adds ``self.new_field = ...`` to a slotted class without
+  extending ``__slots__`` -- an instant ``AttributeError`` at runtime,
+  but only on the code path that assigns it;
+* someone adds a new per-event class and forgets ``__slots__``
+  entirely -- no error, just a slow dict-backed object in the hot
+  loop.
+
+The checker verifies, for every class in the hot packages:
+
+* **coverage**: a class declaring ``__slots__`` (or
+  ``@dataclass(slots=True)``) must list every attribute its methods
+  assign on ``self``. Classes whose base classes cannot be resolved
+  within the same module are checked against the union of their own
+  and in-module ancestors' slots only when every base resolves;
+* **registry**: classes named in :data:`HOT_CLASSES` (the per-µop /
+  per-access objects instantiated inside the step loop) must declare
+  ``__slots__`` one way or the other.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.module import ModuleSource
+from repro.analysis.registry import Rule, checker
+
+#: Packages whose classes are subject to slots discipline.
+SLOTTED_PACKAGES = ("repro.uarch", "repro.isa", "repro.memory")
+
+#: Per-event classes that MUST be slotted: instantiated once per µop,
+#: memory access, or cache line inside the simulated hot loop.
+HOT_CLASSES = frozenset(
+    {
+        "Uop",
+        "DynInst",
+        "_Line",
+        "DataAccess",
+        "InstAccess",
+        "AccessResult",
+        "TlbResult",
+    }
+)
+
+
+def _slot_names(cls: ast.ClassDef) -> set[str] | None:
+    """Names in an explicit ``__slots__`` assignment, or None."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "__slots__"
+                and isinstance(value, (ast.Tuple, ast.List, ast.Set))
+            ):
+                return {
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                }
+    return None
+
+
+def _is_slots_dataclass(cls: ast.ClassDef) -> bool:
+    """``@dataclass(slots=True)`` (possibly dotted) on the class."""
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "slots"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> set[str]:
+    """Annotated class-level names (dataclass field declarations)."""
+    return {
+        stmt.target.id
+        for stmt in cls.body
+        if isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+    }
+
+
+def _self_assignments(cls: ast.ClassDef) -> list[tuple[str, int, int]]:
+    """(attr, line, col) for every ``self.x = ...`` in the methods."""
+    out: list[tuple[str, int, int]] = []
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = item.args.args
+        if not args:
+            continue
+        self_name = args[0].arg
+        for node in ast.walk(item):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if (
+                        isinstance(leaf, ast.Attribute)
+                        and isinstance(leaf.ctx, ast.Store)
+                        and isinstance(leaf.value, ast.Name)
+                        and leaf.value.id == self_name
+                    ):
+                        out.append(
+                            (leaf.attr, leaf.lineno, leaf.col_offset + 1)
+                        )
+    return out
+
+
+def _resolved_slots(
+    cls: ast.ClassDef, by_name: dict[str, ast.ClassDef]
+) -> set[str] | None:
+    """Union of slots along the in-module MRO, or None if unprovable.
+
+    Returns None when any base class is not resolvable in this module
+    or resolves to a class without slots (then instances have a
+    ``__dict__`` and coverage cannot produce a runtime error).
+    """
+    if _is_slots_dataclass(cls):
+        own: set[str] | None = _dataclass_fields(cls)
+    else:
+        own = _slot_names(cls)
+    if own is None:
+        return None
+    union = set(own)
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id == "object":
+            continue
+        if not isinstance(base, ast.Name) or base.id not in by_name:
+            return None
+        inherited = _resolved_slots(by_name[base.id], by_name)
+        if inherited is None:
+            return None
+        union |= inherited
+    return union
+
+
+@checker(
+    Rule(
+        "TL004",
+        "slots-discipline",
+        "slotted classes must cover every self.* assignment; hot "
+        "per-event classes must be slotted",
+    )
+)
+def check_slots(
+    module: ModuleSource,
+) -> Iterator[tuple[int, int, str, str]]:
+    if not module.in_package(*SLOTTED_PACKAGES):
+        return
+    classes = [
+        node
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef)
+    ]
+    by_name = {cls.name: cls for cls in classes}
+    for cls in classes:
+        slots = _resolved_slots(cls, by_name)
+        if slots is None:
+            if cls.name in HOT_CLASSES:
+                yield (
+                    cls.lineno,
+                    cls.col_offset + 1,
+                    f"hot per-event class {cls.name} has no __slots__",
+                    "add __slots__ (or @dataclass(slots=True)); "
+                    "dict-backed instances in the step loop cost "
+                    "memory and a lookup per attribute access",
+                )
+            continue
+        seen: set[str] = set()
+        for attr, line, col in _self_assignments(cls):
+            if attr in slots or attr in seen:
+                continue
+            if attr.startswith("__") and attr.endswith("__"):
+                continue
+            seen.add(attr)
+            yield (
+                line,
+                col,
+                f"{cls.name} assigns self.{attr} but __slots__ does "
+                f"not declare it",
+                "add the name to __slots__ (this assignment raises "
+                "AttributeError at runtime)",
+            )

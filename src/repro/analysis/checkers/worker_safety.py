@@ -1,0 +1,226 @@
+"""TL005 worker-safety: executor payloads must survive pickling.
+
+:class:`repro.engine.executor.SuiteExecutor` ships work to a
+``ProcessPoolExecutor`` when ``jobs > 1``. Everything crossing the
+process boundary is pickled, which makes three shapes of payload
+time bombs -- they work in serial mode and tests, then explode (or
+silently diverge) under real parallelism:
+
+* **lambdas and nested functions** as the worker ``fn`` or submitted
+  callables: unpicklable (``PicklingError`` at submit time);
+* **open handles** passed through a payload: file objects cannot be
+  pickled, and even when proxied the offset/buffering state would not
+  be shared;
+* **module-level mutable state** passed into a
+  :class:`~repro.engine.spec.RunSpec`: each worker gets a *copy*, so
+  in-place mutation in the parent is invisible to workers (and the
+  mutable value poisons the spec's content hash).
+
+Checked payload boundaries: ``SuiteExecutor(...)``'s ``fn`` argument
+(third positional or keyword), ``*.submit(...)`` arguments, and
+``RunSpec(...)`` / ``RunSpec.make(...)`` arguments. The parent-side
+``on_result`` callback never crosses the boundary and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.module import ModuleSource
+from repro.analysis.registry import Rule, checker
+
+#: Keyword arguments that stay in the parent process.
+_PARENT_SIDE_KEYWORDS = {"on_result", "on_retry", "checkpoint"}
+
+#: Zero-based positional index of SuiteExecutor's fn parameter
+#: (jobs, retries, fn, ...).
+_FN_POSITION = 2
+
+#: Calls whose value payloads are mutable containers by construction.
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+}
+
+
+def _nested_functions(tree: ast.AST) -> set[str]:
+    """Names of functions defined inside other functions."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if depth > 0:
+                    nested.add(child.name)
+                visit(child, depth + 1)
+            elif isinstance(child, ast.ClassDef):
+                # Methods are attribute lookups, not bare names.
+                visit(child, 0)
+            else:
+                visit(child, depth)
+
+    for top in ast.iter_child_nodes(tree):
+        if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            visit(top, 1)
+        else:
+            visit(top, 0)
+    return nested
+
+
+def _module_mutables(tree: ast.Module) -> dict[str, int]:
+    """Module-level name -> line for names bound to mutable values."""
+    mutables: dict[str, int] = {}
+    for stmt in tree.body:
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                    ast.DictComp, ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_FACTORIES
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables[target.id] = stmt.lineno
+    return mutables
+
+
+def _callee_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_runspec_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "RunSpec"
+    if isinstance(func, ast.Attribute):
+        if func.attr == "RunSpec":
+            return True
+        return func.attr == "make" and isinstance(
+            func.value, (ast.Name, ast.Attribute)
+        ) and (
+            func.value.id == "RunSpec"
+            if isinstance(func.value, ast.Name)
+            else func.value.attr == "RunSpec"
+        )
+    return False
+
+
+def _payload_args(
+    call: ast.Call, fn_position: int | None = None
+) -> list[ast.expr]:
+    """Argument expressions that cross the process boundary."""
+    out: list[ast.expr] = []
+    if fn_position is None:
+        out.extend(call.args)
+    elif fn_position < len(call.args):
+        out.append(call.args[fn_position])
+    for kw in call.keywords:
+        if kw.arg in _PARENT_SIDE_KEYWORDS:
+            continue
+        if fn_position is not None and kw.arg != "fn":
+            continue
+        out.append(kw.value)
+    return out
+
+
+@checker(
+    Rule(
+        "TL005",
+        "worker-safety",
+        "no lambdas, nested functions, open handles, or module-level "
+        "mutables through executor payloads",
+    )
+)
+def check_worker_safety(
+    module: ModuleSource,
+) -> Iterator[tuple[int, int, str, str]]:
+    tree = module.tree
+    nested = _nested_functions(tree)
+    mutables = _module_mutables(tree)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _callee_name(node)
+        if callee == "SuiteExecutor":
+            payload = _payload_args(node, fn_position=_FN_POSITION)
+            boundary = "SuiteExecutor worker fn"
+            check_mutables = False
+        elif callee == "submit" and isinstance(
+            node.func, ast.Attribute
+        ):
+            payload = _payload_args(node)
+            boundary = "submit() payload"
+            check_mutables = False
+        elif _is_runspec_call(node):
+            payload = _payload_args(node)
+            boundary = "RunSpec payload"
+            check_mutables = True
+        else:
+            continue
+        for arg in payload:
+            loc = (arg.lineno, arg.col_offset + 1)
+            if isinstance(arg, ast.Lambda):
+                yield (
+                    *loc,
+                    f"lambda passed as {boundary}: lambdas cannot be "
+                    f"pickled to worker processes",
+                    "use a module-level function (works under "
+                    "jobs > 1)",
+                )
+            elif isinstance(arg, ast.Name) and arg.id in nested:
+                yield (
+                    *loc,
+                    f"nested function {arg.id!r} passed as "
+                    f"{boundary}: unpicklable",
+                    "hoist the function to module level",
+                )
+            elif (
+                isinstance(arg, ast.Call)
+                and isinstance(arg.func, ast.Name)
+                and arg.func.id == "open"
+            ):
+                yield (
+                    *loc,
+                    f"open() handle passed as {boundary}: file "
+                    f"objects cannot cross the process boundary",
+                    "pass the path and open inside the worker",
+                )
+            elif (
+                check_mutables
+                and isinstance(arg, ast.Name)
+                and arg.id in mutables
+            ):
+                yield (
+                    *loc,
+                    f"module-level mutable {arg.id!r} (bound at line "
+                    f"{mutables[arg.id]}) passed into a {boundary}: "
+                    f"workers mutate a private copy",
+                    "pass an immutable snapshot (tuple/frozen "
+                    "dataclass) or spec fields",
+                )

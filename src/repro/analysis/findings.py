@@ -1,0 +1,112 @@
+"""The finding model of tea-lint.
+
+A :class:`Finding` is one rule violation at one source location. Its
+identity for baseline purposes is the :attr:`Finding.key` triple
+``(rule, path, symbol)`` -- deliberately *not* the line number, so a
+grandfathered finding stays matched while unrelated edits move it
+around the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Severity levels, most severe first. Both gate the exit code; "info"
+#: findings are reported but never fail a run.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+#: Severities that make ``tea-repro lint`` exit non-zero.
+GATING_SEVERITIES = frozenset({SEVERITY_ERROR, SEVERITY_WARNING})
+
+
+@dataclass
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: Rule id, e.g. ``"TL003"``.
+        severity: One of :data:`SEVERITIES`.
+        path: Repo-relative path of the offending file.
+        line: 1-based line of the finding.
+        col: 1-based column of the finding.
+        message: What is wrong.
+        hint: How to fix it (may be empty).
+        symbol: Qualified name of the enclosing class/function scope
+            (``"<module>"`` at module level); the stable half of the
+            baseline key.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    symbol: str = "<module>"
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: (rule, path, symbol)."""
+        return (self.rule, self.path, self.symbol)
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` for reports."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready dict (the ``--json`` reporter shape)."""
+        doc: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+        if self.hint:
+            doc["hint"] = self.hint
+        return doc
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: Active findings (not suppressed, not baselined);
+            these gate the exit code.
+        baselined: Findings matched by a baseline entry.
+        suppressed: Findings silenced by an inline suppression.
+        unused_baseline: Baseline keys that matched nothing (stale
+            entries worth deleting).
+        files_checked: Number of Python files analysed.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unused_baseline: list[tuple[str, str, str]] = field(
+        default_factory=list
+    )
+    files_checked: int = 0
+
+    @property
+    def gating(self) -> list[Finding]:
+        """Findings that should fail the run."""
+        return [
+            f for f in self.findings
+            if f.severity in GATING_SEVERITIES
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any gating finding is active."""
+        return 1 if self.gating else 0

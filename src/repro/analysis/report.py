@@ -1,0 +1,74 @@
+"""Text and JSON reporters for tea-lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.findings import Finding, LintResult
+from repro.analysis.runner import rule_catalogue
+
+
+def _render_finding(finding: Finding) -> str:
+    line = (
+        f"{finding.location}: {finding.rule} "
+        f"{finding.severity}: {finding.message}"
+    )
+    if finding.hint:
+        line += f" ({finding.hint})"
+    return line
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report, one line per finding."""
+    lines = [_render_finding(f) for f in result.findings]
+    if verbose:
+        lines.extend(
+            f"{_render_finding(f)} [baselined]"
+            for f in result.baselined
+        )
+        lines.extend(
+            f"{_render_finding(f)} [suppressed]"
+            for f in result.suppressed
+        )
+    for rule, path, symbol in result.unused_baseline:
+        lines.append(
+            f"note: stale baseline entry {rule} at {path}:{symbol} "
+            f"matched nothing -- delete it"
+        )
+    summary = (
+        f"tea-lint: {len(result.findings)} finding(s) in "
+        f"{result.files_checked} file(s)"
+    )
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the ``--json`` flag and CI artifact)."""
+    doc: dict[str, Any] = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "counts": {
+            "active": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(result.unused_baseline),
+        },
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "symbol": symbol}
+            for rule, path, symbol in result.unused_baseline
+        ],
+        "rules": rule_catalogue(),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

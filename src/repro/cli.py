@@ -35,6 +35,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from repro import obs
 from repro.core.diff import diff_profiles, render_diff
@@ -244,6 +245,61 @@ def prewarm(runner, commands, resume: bool = False) -> None:
     if report is not None and report.failed_labels:
         # Only reachable with --keep-going (failures raise otherwise).
         print(report.summary(), file=sys.stderr)
+
+
+def cmd_lint(args) -> int:
+    """``tea-repro lint``: run the tea-lint invariant checkers."""
+    from repro.analysis import (
+        Baseline,
+        DEFAULT_BASELINE_NAME,
+        lint_paths,
+        render_json,
+        render_text,
+        rule_catalogue,
+    )
+    from repro.version import find_repo_root
+
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(
+                f"{rule['id']} {rule['name']} [{rule['severity']}, "
+                f"{rule['scope']}]: {rule['summary']}"
+            )
+        return 0
+
+    root = find_repo_root()
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else root / DEFAULT_BASELINE_NAME
+    )
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    )
+    try:
+        result = lint_paths(
+            args.paths,
+            root=root,
+            rules=args.rule or None,
+            ignore=args.ignore or None,
+            baseline=baseline,
+        )
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        refreshed = Baseline.from_findings(
+            result.findings + result.baselined,
+            reasons=baseline.entries,
+        )
+        refreshed.save(baseline_path)
+        print(
+            f"wrote {baseline_path} "
+            f"({len(refreshed.entries)} entr(y/ies))"
+        )
+        return 0
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code
 
 
 def cmd_stats(args) -> int:
@@ -692,6 +748,46 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the summary as machine-readable JSON",
     )
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the tea-lint invariant checkers (see "
+        "docs/internals.md)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of grandfathered findings "
+        "(default: <repo>/tealint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined findings as active",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(existing reasons are kept)",
+    )
+    lint_parser.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--ignore", action="append", metavar="ID",
+        help="skip this rule (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     bench_parser = sub.add_parser(
         "bench",
         help="A/B throughput benchmark (optimised vs reference loop)",
@@ -745,6 +841,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_diff(args)
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "figures":

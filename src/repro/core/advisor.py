@@ -14,7 +14,7 @@ remedy -- with the lbm/nab rules reproducing the paper's own advice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.events import Event
 from repro.core.pics import PicsProfile

@@ -10,7 +10,7 @@ per-signature deltas ranked by absolute impact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.pics import PicsProfile
 from repro.core.psv import signature_name

@@ -10,7 +10,7 @@ question Q1); the per-signature components explain why (Q2).
 from __future__ import annotations
 
 import enum
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.core.psv import project_psv, signature_name
 from repro.isa.program import Program

@@ -68,7 +68,9 @@ def parse_signature(name: str) -> int:
         key = part.replace("-", "_")
         try:
             event = Event[key]
-        except KeyError:
-            raise ValueError(f"unknown event {part!r} in signature {name!r}")
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown event {part!r} in signature {name!r}"
+            ) from exc
         psv = psv_set(psv, event)
     return psv

@@ -8,7 +8,7 @@ per (combination of) performance event(s).
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.pics import Granularity, PicsProfile
 from repro.core.psv import signature_name

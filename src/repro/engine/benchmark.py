@@ -25,7 +25,8 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.core.samplers import make_sampler
 from repro.engine.spec import DEFAULT_PERIOD, TECHNIQUES

@@ -28,7 +28,8 @@ did the cache save" is always answerable after the fact.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro import obs
 from repro.engine.executor import (

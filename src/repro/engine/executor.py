@@ -44,7 +44,8 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro import obs
 from repro.engine.runs import run_to_payload, simulate_spec

@@ -14,7 +14,8 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 #: Schedulable actions, one per attempt of a label.
 ACTION_OK = "ok"

@@ -22,7 +22,8 @@ from repro.core.io import raw_from_list, raw_to_list
 from repro.core.pics import PicsProfile, RawProfile
 from repro.core.samplers import Sampler, make_sampler
 from repro.core.states import CommitState
-from repro.engine.spec import MODEL_VERSION, RunSpec
+from repro.engine.spec import RunSpec
+from repro.version import MODEL_VERSION
 from repro.uarch.core import CoreResult, FlushStats, simulate
 from repro.workloads import Workload, build
 

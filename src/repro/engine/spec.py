@@ -9,9 +9,12 @@ hash (:attr:`RunSpec.key`) regardless of kwarg ordering, dict insertion
 order, or config object identity -- the key the engine memo, the
 on-disk run store, and the telemetry log all share.
 
-The hash also covers :data:`MODEL_VERSION`, so bumping it after a
-behavioural change to the timing model or samplers automatically
-invalidates every previously stored run.
+The hash also covers :data:`repro.version.MODEL_VERSION` (re-exported
+here for compatibility), so bumping it after a behavioural change to
+the timing model or samplers automatically invalidates every
+previously stored run. The version constant and the registry of
+semantics-bearing files live in :mod:`repro.version`, which the
+tea-lint TL006 checker polices.
 """
 
 from __future__ import annotations
@@ -21,9 +24,21 @@ import hashlib
 import json
 from dataclasses import dataclass, fields, is_dataclass
 from functools import cached_property
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any
 
 from repro.uarch.config import CoreConfig
+from repro.version import MODEL_VERSION
+
+__all__ = [
+    "DEFAULT_PERIOD",
+    "DEFAULT_SCALE",
+    "MODEL_VERSION",
+    "RunSpec",
+    "SPEC_SCHEMA",
+    "TECHNIQUES",
+    "canonical",
+]
 
 #: The five techniques of the headline comparison (Fig 5), paper order.
 TECHNIQUES = ("IBS", "SPE", "RIS", "NCI-TEA", "TEA")
@@ -39,13 +54,6 @@ DEFAULT_SCALE = 1.0
 
 #: Spec-hash schema revision (bump on RunSpec field changes).
 SPEC_SCHEMA = "tea-spec-v1"
-
-#: Behavioural revision of the simulation stack. Bump whenever the
-#: timing model, samplers, or attribution policy change results; every
-#: stored run keyed under the old version then misses automatically.
-#: v2: samples_taken counts one sample per sample() even when its weight
-#: is split across several committing µops (stored runs record it).
-MODEL_VERSION = 2
 
 
 def _sort_token(value: Any) -> str:

@@ -19,10 +19,12 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.engine.runs import PAYLOAD_SCHEMA
-from repro.engine.spec import MODEL_VERSION, RunSpec
+from repro.engine.spec import RunSpec
+from repro.version import MODEL_VERSION
 
 #: On-disk layout revision (bump on path-layout changes).
 STORE_VERSION = 1

@@ -16,7 +16,8 @@ import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 #: Default run-log filename (under the store root).
 DEFAULT_RUN_LOG_NAME = "runs.jsonl"

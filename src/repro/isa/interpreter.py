@@ -12,7 +12,7 @@ wrong-path penalty as a front-end stall (see DESIGN.md, "Known deviations").
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.isa.instructions import (
     FP_BASE,

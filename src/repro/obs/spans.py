@@ -29,7 +29,8 @@ import functools
 import os
 import threading
 import time
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 #: Environment variable gating the whole subsystem.
 OBS_ENV = "REPRO_OBS"

@@ -17,7 +17,8 @@ import io
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterator
+from collections.abc import Iterator
+from typing import BinaryIO
 
 from repro.core.pics import PicsProfile
 

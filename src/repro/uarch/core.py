@@ -44,7 +44,7 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush, heapreplace
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from time import perf_counter
 
@@ -539,6 +539,8 @@ class Core:
         self._finish()
         return self.result()
 
+    # tealint: disable=TL002 -- only dispatched from run() behind
+    # obs.enabled(); guarding again here would double the check.
     def _run_profiled(self, max_cycles: int) -> CoreResult:
         """Simulate to completion under the instrumented step loop."""
         prof = StageProfiler(self.program.name)
@@ -808,7 +810,7 @@ class Core:
         # Occupancy is unchanged across fast-forwarded cycles (nothing
         # progressed), so weighting by the cycles advanced this step
         # yields exact per-simulated-cycle averages.
-        iq_occ = self._iq_occ
+        iq_occ = self._iq_occ  # tealint: instrumentation
         prof.occupancy(
             len(self.rob),
             len(self.fetch_buffer),
@@ -819,6 +821,8 @@ class Core:
         )
         prof.maybe_flush(self.cycle)
 
+    # tealint: disable=TL002 -- called only from _run_profiled, which
+    # run() dispatches to behind obs.enabled().
     def _report_obs(self) -> None:
         """Report end-of-run counters into the obs registry.
 

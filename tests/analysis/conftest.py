@@ -1,0 +1,11 @@
+"""Shared helpers for the tea-lint test suite."""
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DATA = Path(__file__).resolve().parent / "data"
+
+
+def fixture_text(name: str) -> str:
+    """Source text of a fixture file from the data corpus."""
+    return (DATA / name).read_text()

@@ -1,0 +1,4 @@
+"""TL000 fixture: does not parse."""
+
+def incomplete(:
+    pass

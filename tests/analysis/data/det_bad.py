@@ -1,0 +1,15 @@
+"""TL003 fixture: every banned nondeterminism source."""
+
+import os
+import random
+import time
+
+
+def gen(seed):
+    rng = random.Random(seed)  # seeded: clean
+    start = time.time()  # finding: wall clock
+    weight = random.random()  # finding: global RNG
+    rogue = random.Random()  # finding: unseeded instance
+    if os.environ.get("FAST"):  # finding: env branching
+        return rng.random()
+    return start + weight + rogue.random()

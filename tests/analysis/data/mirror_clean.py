@@ -1,0 +1,27 @@
+"""TL001 fixture: a faithful mirror (no findings expected)."""
+
+
+class Core:
+    def step(self, horizon=None):
+        if self.reference_loop:
+            self._step_reference(horizon)
+            return
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        if self.rob:
+            self._commit()
+        self._issue(cycle)
+
+    def _step_profiled(self, prof, horizon=None):
+        perf = perf_counter  # noqa: F821 -- fixture, never imported
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        t0 = perf()
+        if self.rob:
+            self._commit()
+        t1 = perf()
+        prof.add("commit", t1 - t0)
+        self._issue(cycle)
+        marked = self.helper  # tealint: instrumentation
+        prof.occupancy(marked)
+        prof.maybe_flush(cycle)

@@ -1,0 +1,15 @@
+"""TL001 fixture: mirrored statement drifted inside a nested body."""
+
+
+class Core:
+    def step(self, horizon=None):
+        cycle = self.cycle + 1
+        if self.rob:
+            self._commit()
+        self._issue(cycle)
+
+    def _step_profiled(self, prof, horizon=None):
+        cycle = self.cycle + 1
+        if self.rob:
+            self._commit_fast()
+        self._issue(cycle)

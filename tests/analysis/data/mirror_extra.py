@@ -1,0 +1,12 @@
+"""TL001 fixture: the mirror grew a non-instrumentation statement."""
+
+
+class Core:
+    def step(self, horizon=None):
+        cycle = self.cycle + 1
+        self._commit()
+
+    def _step_profiled(self, prof, horizon=None):
+        cycle = self.cycle + 1
+        self._commit()
+        self.extra_state = cycle

@@ -1,0 +1,15 @@
+"""TL001 fixture: the mirror dropped a step() statement."""
+
+
+class Core:
+    def step(self, horizon=None):
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self._commit()
+        self._issue(cycle)
+
+    def _step_profiled(self, prof, horizon=None):
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        self._commit()
+        # _issue(cycle) is missing here.

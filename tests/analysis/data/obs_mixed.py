@@ -1,0 +1,23 @@
+"""TL002 fixture: one unguarded use, three sanctioned patterns."""
+
+from repro import obs
+
+
+class Pipe:
+    def hot(self):
+        with obs.span("pipe.hot"):  # unguarded: finding
+            self.work()
+
+    def guarded(self):
+        if obs.enabled():
+            with obs.span("pipe.guarded"):  # guarded: clean
+                self.work()
+
+    def guarded_compound(self):
+        if obs.enabled() and self.deep:
+            obs.COUNTERS.inc("pipe.deep")  # guarded: clean
+
+    def early_return(self):
+        if not obs.enabled():
+            return
+        obs.COUNTERS.inc("pipe.er")  # after early return: clean

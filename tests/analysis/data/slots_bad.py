@@ -1,0 +1,27 @@
+"""TL004 fixture: coverage violation plus an unslotted hot class."""
+
+from dataclasses import dataclass
+
+
+class Line:
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag):
+        self.tag = tag
+        self.dirty = False
+
+    def touch(self, now):
+        self.last_use = now  # finding: not in __slots__
+
+
+class Uop:  # finding: hot per-event class without __slots__
+    def __init__(self, opcode):
+        self.opcode = opcode
+
+
+@dataclass(slots=True)
+class Access:
+    addr: int
+
+    def mark(self):
+        self.level = 1  # finding: not a declared field

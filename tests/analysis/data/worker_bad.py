@@ -1,0 +1,29 @@
+"""TL005 fixture: every unsafe payload shape, plus exempt uses."""
+
+SHARED = {"runs": 0}  # module-level mutable
+
+
+def SuiteExecutor(**kwargs):  # stand-in so the fixture is self-contained
+    return kwargs
+
+
+def RunSpec(**kwargs):
+    return kwargs
+
+
+def module_worker(item):
+    return item
+
+
+def build(pool):
+    def local_worker(item):
+        return item
+
+    serial = SuiteExecutor(jobs=1, retries=1, fn=local_worker)  # finding
+    quick = SuiteExecutor(jobs=2, retries=0, fn=lambda i: i)  # finding
+    pool.submit(local_worker, 1)  # finding
+    pool.submit(print, open("log.txt"))  # finding
+    spec = RunSpec(name="x", config=SHARED)  # finding
+    safe = SuiteExecutor(jobs=2, fn=module_worker)  # clean
+    safe.run([], on_result=lambda label, payload: None)  # exempt
+    return serial, quick, spec, safe
