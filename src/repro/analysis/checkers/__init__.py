@@ -1,6 +1,7 @@
 """Checker modules: importing this package populates the registry."""
 
 from repro.analysis.checkers import (  # noqa: F401
+    backend_purity,
     determinism,
     mirror,
     model_version,

@@ -4,7 +4,8 @@ The reproduction's core claim -- identical PICS profiles for identical
 (spec, MODEL_VERSION) pairs -- dies the moment model code consults a
 wall clock, an unseeded RNG, the OS entropy pool, or the environment.
 This checker bans those inputs from the simulation packages
-(``repro.uarch``, ``repro.isa``, ``repro.workloads``):
+(``repro.uarch``, ``repro.isa``, ``repro.backends``,
+``repro.workloads``):
 
 * wall-clock reads: ``time.time()`` / ``time.time_ns()``,
   ``datetime.now()`` / ``utcnow()`` / ``today()``;
@@ -31,6 +32,7 @@ from repro.analysis.registry import Rule, checker
 DETERMINISTIC_PACKAGES = (
     "repro.uarch",
     "repro.isa",
+    "repro.backends",
     "repro.workloads",
 )
 

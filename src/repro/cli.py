@@ -428,27 +428,70 @@ def _profile_workload(workload, technique: str, period: int):
     return result, sampler
 
 
+def _window_plan_from_args(args):
+    """The sampled-tier WindowPlan the CLI knobs describe."""
+    from repro.backends.sampled import WindowPlan
+
+    if getattr(args, "window", 0):
+        return WindowPlan(
+            window=args.window, stride=args.stride, warmup=args.warmup
+        )
+    return WindowPlan()
+
+
 def cmd_profile(args) -> int:
     """``tea-repro profile <workload> ...``: print a PICS profile."""
     workload = parse_workload_spec(args.workload, args.scale)
-    result, sampler = _profile_workload(
-        workload, args.technique, args.period
-    )
-    profile = sampler.profile()
+    backend = getattr(args, "backend", "detailed")
+    if backend == "functional":
+        from repro.backends.functional import simulate_functional
+
+        result = simulate_functional(
+            workload.program, arch_state=workload.fresh_state()
+        )
+        profile = result.golden_profile()
+        sample_note = "functional tier (exact counts, no timing)"
+    elif backend == "sampled":
+        from repro.backends.sampled import SampledBackend
+
+        sampler = make_sampler(args.technique, args.period)
+        result = SampledBackend(
+            plan=_window_plan_from_args(args)
+        ).simulate(
+            workload.program,
+            samplers=[sampler],
+            arch_state=workload.fresh_state(),
+        )
+        profile = sampler.profile()
+        sample_note = (
+            f"{sampler.samples_taken} samples over "
+            f"{len(result.windows)} window(s), cycles extrapolated"
+        )
+    else:
+        result, sampler = _profile_workload(
+            workload, args.technique, args.period
+        )
+        profile = sampler.profile()
+        sample_note = f"{sampler.samples_taken} samples"
     level = Granularity(args.granularity)
     if level != Granularity.INSTRUCTION:
         profile = profile.aggregate(workload.program, level)
     print(
         f"{workload.name}: {result.cycles:,} cycles, "
         f"{result.committed:,} instructions (IPC {result.ipc:.2f}), "
-        f"{sampler.samples_taken} samples\n"
+        f"{sample_note}\n"
     )
     print(render_top(profile, n=args.top, program=workload.program))
-    if args.stats:
+    if args.stats and backend == "detailed":
         from repro.uarch.summary import render_summary
 
         print("\n" + render_summary(result))
     else:
+        if args.stats:
+            print(
+                "\n(--stats reports live machine state; only the "
+                "detailed tier has it)"
+            )
         stack = result.cpi_stack()
         print(
             "\ncommit-state cycle stack: "
@@ -533,9 +576,11 @@ def cmd_bench(args) -> int:
     """``tea-repro bench``: A/B throughput benchmark + regression gate."""
     from repro.engine.benchmark import (
         SMOKE_WORKLOADS,
+        TIER_BACKENDS,
         ProfileMismatchError,
         format_report,
         run_suite,
+        run_tier_suite,
     )
     from repro.engine.telemetry import (
         compare_bench,
@@ -549,14 +594,31 @@ def cmd_bench(args) -> int:
         else list(SMOKE_WORKLOADS)
     )
     scale = args.scale
+    backend = getattr(args, "backend", "detailed")
+    tiers = (
+        ()
+        if backend == "detailed"
+        else (TIER_BACKENDS if backend == "all" else (backend,))
+    )
     try:
-        report = run_suite(
-            workloads,
-            scale=scale,
-            repeat=args.repeat,
-            ab=not args.no_ab,
-            period=args.period,
-        )
+        if tiers:
+            report = run_tier_suite(
+                workloads,
+                scale=scale,
+                repeat=args.repeat,
+                backends=tiers,
+                ab=not args.no_ab,
+                period=args.period,
+                plan=_window_plan_from_args(args),
+            )
+        else:
+            report = run_suite(
+                workloads,
+                scale=scale,
+                repeat=args.repeat,
+                ab=not args.no_ab,
+                period=args.period,
+            )
     except ProfileMismatchError as exc:
         print(f"A/B FAILURE: {exc}", file=sys.stderr)
         return 1
@@ -567,7 +629,8 @@ def cmd_bench(args) -> int:
             args.out,
             report.to_bench_entries(),
             note=f"tea-repro bench: scale={scale}, period={args.period}, "
-            f"repeat={args.repeat}, best-of-N cycles/s",
+            f"repeat={args.repeat}, best-of-N cycles/s"
+            + (f", tiers={','.join(tiers)}" if tiers else ""),
         )
         print(f"wrote {args.out}")
 
@@ -602,6 +665,30 @@ def cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             failed = True
+    if getattr(args, "min_tier_speedup", None) is not None:
+        if not tiers:
+            print(
+                "min-tier-speedup check needs a tier benchmark "
+                "(pass --backend)",
+                file=sys.stderr,
+            )
+            failed = True
+        for tier in tiers:
+            tier_geomean = report.geomean_tier_speedup(tier)
+            if tier_geomean is None or (
+                tier_geomean < args.min_tier_speedup
+            ):
+                shown = (
+                    f"{tier_geomean:.2f}x"
+                    if tier_geomean is not None
+                    else "n/a"
+                )
+                print(
+                    f"TIER SPEEDUP FAILURE: {tier} geomean {shown} < "
+                    f"required {args.min_tier_speedup:.2f}x",
+                    file=sys.stderr,
+                )
+                failed = True
     return 1 if failed else 0
 
 
@@ -691,6 +778,28 @@ def main(argv: list[str] | None = None) -> int:
         choices=[g.value for g in Granularity],
     )
     profile_parser.add_argument("--top", type=int, default=10)
+    profile_parser.add_argument(
+        "--backend", default="detailed",
+        choices=["detailed", "functional", "sampled"],
+        help="execution tier: the cycle-level core (default), atomic "
+        "functional execution (exact counts, no timing), or sampled "
+        "simulation (detailed windows over functional fast-forward)",
+    )
+    profile_parser.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="sampled tier: instructions measured in detail per "
+        "window (0 = plan default)",
+    )
+    profile_parser.add_argument(
+        "--stride", type=int, default=0, metavar="N",
+        help="sampled tier: instructions fast-forwarded between "
+        "windows (used when --window is set)",
+    )
+    profile_parser.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="sampled tier: committed-history depth replayed to warm "
+        "caches/predictor per window (used when --window is set)",
+    )
     profile_parser.add_argument(
         "--stats", action="store_true",
         help="print the full machine-statistics summary",
@@ -821,6 +930,32 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser.add_argument(
         "--min-speedup", type=float, default=None,
         help="fail unless the geomean A/B speedup reaches this",
+    )
+    bench_parser.add_argument(
+        "--backend", default="detailed",
+        choices=["detailed", "functional", "sampled", "all"],
+        help="also benchmark an execution tier against the detailed "
+        "core ('all' = both tiers); tier rows land in the BENCH file "
+        "as <workload>@<backend>",
+    )
+    bench_parser.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="sampled tier: window length (0 = plan default)",
+    )
+    bench_parser.add_argument(
+        "--stride", type=int, default=0, metavar="N",
+        help="sampled tier: fast-forward stride (used when --window "
+        "is set)",
+    )
+    bench_parser.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="sampled tier: warm-up replay depth (used when --window "
+        "is set)",
+    )
+    bench_parser.add_argument(
+        "--min-tier-speedup", type=float, default=None, metavar="X",
+        help="fail unless every benchmarked tier's geomean speedup "
+        "vs detailed reaches this",
     )
 
     args = parser.parse_args(argv)

@@ -41,6 +41,9 @@ SMOKE_WORKLOADS = ("lbm", "mcf", "x264")
 #: Workload scale for the smoke benchmark.
 SMOKE_SCALE = 0.2
 
+#: The non-default execution tiers a tier benchmark measures.
+TIER_BACKENDS = ("functional", "sampled")
+
 
 class ProfileMismatchError(AssertionError):
     """The optimised and reference loops disagreed on a profile."""
@@ -60,6 +63,12 @@ class WorkloadBench:
             when the reference side was skipped).
         identical: True when every profile matched between the two
             loops; None when the reference side was skipped.
+        backend: Execution tier measured (``"detailed"`` unless this
+            row came from a tier benchmark).
+        detailed_cycles_per_sec: The same workload's detailed-tier
+            throughput, for tier rows.
+        speedup_vs_detailed: End-to-end throughput ratio of this tier
+            over the detailed tier (tier rows only).
     """
 
     name: str
@@ -68,6 +77,9 @@ class WorkloadBench:
     reference_cycles_per_sec: float | None = None
     speedup: float | None = None
     identical: bool | None = None
+    backend: str = "detailed"
+    detailed_cycles_per_sec: float | None = None
+    speedup_vs_detailed: float | None = None
 
 
 @dataclass
@@ -86,8 +98,25 @@ class BenchReport:
             return None
         return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
 
+    def geomean_tier_speedup(self, backend: str) -> float | None:
+        """Geometric-mean end-to-end speedup of a tier over detailed."""
+        speedups = [
+            w.speedup_vs_detailed
+            for w in self.workloads
+            if w.backend == backend and w.speedup_vs_detailed
+        ]
+        if not speedups:
+            return None
+        return math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+
     def to_bench_entries(self) -> dict[str, dict[str, float]]:
-        """Per-workload entries for a BENCH file."""
+        """Per-workload entries for a BENCH file.
+
+        Tier rows key as ``"<workload>@<backend>"`` (the row's
+        :attr:`WorkloadBench.name` already carries the suffix), so
+        they sit beside the plain detailed entries without colliding
+        with the regression gate's name overlap.
+        """
         entries: dict[str, dict[str, float]] = {}
         for w in self.workloads:
             entry: dict[str, float] = {
@@ -100,6 +129,14 @@ class BenchReport:
                 )
             if w.speedup is not None:
                 entry["speedup"] = round(w.speedup, 3)
+            if w.detailed_cycles_per_sec is not None:
+                entry["detailed_cycles_per_sec"] = round(
+                    w.detailed_cycles_per_sec, 1
+                )
+            if w.speedup_vs_detailed is not None:
+                entry["speedup_vs_detailed"] = round(
+                    w.speedup_vs_detailed, 3
+                )
             entries[w.name] = entry
         return entries
 
@@ -223,6 +260,105 @@ def run_workload(
     return bench
 
 
+def _timed_tier_run(
+    workload,
+    backend: str,
+    techniques: Sequence[str],
+    period: int,
+    seed: int,
+    plan,
+) -> tuple[float, int]:
+    """One fresh tier simulation; (wall seconds, reported cycles).
+
+    The sampled tier reports *extrapolated* cycles and the functional
+    tier reports committed instructions (IPC 1 by construction), so
+    ``cycles / wall`` stays an end-to-end "simulated cycles per wall
+    second" figure on every tier.
+    """
+    from repro.backends import simulate_backend
+
+    samplers = (
+        []
+        if backend == "functional"
+        else [
+            make_sampler(t, period, seed=seed + i)
+            for i, t in enumerate(techniques)
+        ]
+    )
+    state = workload.fresh_state()
+    start = time.perf_counter()
+    result = simulate_backend(
+        backend,
+        workload.program,
+        samplers=samplers,
+        arch_state=state,
+        plan=plan,
+    )
+    wall = time.perf_counter() - start
+    return wall, result.cycles
+
+
+def run_tier_suite(
+    workloads: Sequence[str] = SMOKE_WORKLOADS,
+    scale: float = SMOKE_SCALE,
+    repeat: int = 3,
+    backends: Sequence[str] = TIER_BACKENDS,
+    ab: bool = False,
+    techniques: Sequence[str] = TECHNIQUES,
+    period: int = DEFAULT_PERIOD,
+    seed: int = 12345,
+    plan=None,
+) -> BenchReport:
+    """Benchmark each workload on the detailed tier plus *backends*.
+
+    Every workload gets one detailed row (named plainly, A/B-checked
+    when *ab* is set) and one ``"<name>@<backend>"`` row per requested
+    tier carrying its end-to-end throughput and speedup over detailed.
+
+    Args:
+        plan: Sampled-tier :class:`~repro.backends.sampled.WindowPlan`
+            (``None`` = the plan defaults).
+    """
+    rows: list[WorkloadBench] = []
+    for name in workloads:
+        detailed = run_workload(
+            name,
+            scale=scale,
+            repeat=repeat,
+            ab=ab,
+            techniques=techniques,
+            period=period,
+            seed=seed,
+        )
+        rows.append(detailed)
+        workload = build(name, scale=scale)
+        for backend in backends:
+            best_wall = math.inf
+            cycles = 0
+            for _ in range(max(1, repeat)):
+                wall, cycles = _timed_tier_run(
+                    workload, backend, techniques, period, seed, plan
+                )
+                if wall < best_wall:
+                    best_wall = wall
+            cps = cycles / best_wall if best_wall > 0 else 0.0
+            rows.append(
+                WorkloadBench(
+                    name=f"{name}@{backend}",
+                    cycles=cycles,
+                    cycles_per_sec=cps,
+                    backend=backend,
+                    detailed_cycles_per_sec=detailed.cycles_per_sec,
+                    speedup_vs_detailed=(
+                        cps / detailed.cycles_per_sec
+                        if detailed.cycles_per_sec > 0
+                        else None
+                    ),
+                )
+            )
+    return BenchReport(workloads=rows)
+
+
 def run_suite(
     workloads: Sequence[str] = SMOKE_WORKLOADS,
     scale: float = SMOKE_SCALE,
@@ -252,7 +388,7 @@ def run_suite(
 def format_report(report: BenchReport) -> str:
     """Render a human-readable A/B throughput table."""
     lines = [
-        f"{'workload':<12s} {'cycles':>10s} {'opt c/s':>12s} "
+        f"{'workload':<18s} {'cycles':>10s} {'opt c/s':>12s} "
         f"{'ref c/s':>12s} {'speedup':>8s}  A/B"
     ]
     for w in report.workloads:
@@ -261,15 +397,25 @@ def format_report(report: BenchReport) -> str:
             if w.reference_cycles_per_sec is not None
             else f"{'-':>12s}"
         )
+        shown = (
+            w.speedup if w.speedup is not None else w.speedup_vs_detailed
+        )
         speedup = (
-            f"{w.speedup:>7.2f}x" if w.speedup is not None else f"{'-':>8s}"
+            f"{shown:>7.2f}x" if shown is not None else f"{'-':>8s}"
         )
         check = {True: "identical", False: "MISMATCH", None: "-"}[w.identical]
         lines.append(
-            f"{w.name:<12s} {w.cycles:>10,d} {w.cycles_per_sec:>12,.0f} "
+            f"{w.name:<18s} {w.cycles:>10,d} {w.cycles_per_sec:>12,.0f} "
             f"{ref} {speedup}  {check}"
         )
     geomean = report.geomean_speedup
     if geomean is not None:
         lines.append(f"geomean speedup: {geomean:.2f}x")
+    for backend in TIER_BACKENDS:
+        tier_geomean = report.geomean_tier_speedup(backend)
+        if tier_geomean is not None:
+            lines.append(
+                f"geomean {backend} speedup vs detailed: "
+                f"{tier_geomean:.2f}x"
+            )
     return "\n".join(lines)

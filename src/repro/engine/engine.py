@@ -309,5 +309,6 @@ class Engine:
                 },
                 jobs=jobs,
                 attempts=attempts,
+                backend=getattr(spec, "backend", "detailed"),
             )
         )

@@ -108,19 +108,44 @@ def build_workload(spec: RunSpec) -> Workload:
 def simulate_spec(
     spec: RunSpec, workload: Workload | None = None
 ) -> BenchmarkRun:
-    """Simulate one spec with its full sampler plan attached."""
+    """Simulate one spec on its backend, sampler plan attached.
+
+    The functional tier has no cycle-level behaviour to sample, so its
+    runs carry no samplers (the golden profile is still produced); the
+    detailed and sampled tiers attach the full plan.
+    """
     workload = workload or build_workload(spec)
+    backend = getattr(spec, "backend", "detailed")
+    if backend == "functional":
+        from repro.backends.functional import simulate_functional
+
+        result = simulate_functional(
+            workload.program,
+            config=spec.config,
+            arch_state=workload.fresh_state(),
+        )
+        return BenchmarkRun(workload=workload, result=result, samplers={})
     samplers: dict[str, Sampler] = {}
     for key, technique, period, seed in spec.sampler_plan():
         samplers[key] = make_sampler(
             technique, period, jitter=spec.jitter, seed=seed
         )
-    result = simulate(
-        workload.program,
-        config=spec.config,
-        samplers=list(samplers.values()),
-        arch_state=workload.fresh_state(),
-    )
+    if backend == "sampled":
+        from repro.backends.sampled import SampledBackend
+
+        result = SampledBackend(plan=spec.window_plan()).simulate(
+            workload.program,
+            config=spec.config,
+            samplers=list(samplers.values()),
+            arch_state=workload.fresh_state(),
+        )
+    else:
+        result = simulate(
+            workload.program,
+            config=spec.config,
+            samplers=list(samplers.values()),
+            arch_state=workload.fresh_state(),
+        )
     return BenchmarkRun(workload=workload, result=result,
                         samplers=samplers)
 
@@ -135,6 +160,7 @@ def run_to_payload(
         "model_version": MODEL_VERSION,
         "spec_key": spec.key,
         "workload": spec.workload,
+        "backend": getattr(spec, "backend", "detailed"),
         "wall_s": wall_s,
         "cycles": result.cycles,
         "committed": result.committed,

@@ -27,10 +27,12 @@ from functools import cached_property
 from collections.abc import Iterator, Mapping
 from typing import Any
 
+from repro.backends.base import BACKEND_NAMES
 from repro.uarch.config import CoreConfig
 from repro.version import MODEL_VERSION
 
 __all__ = [
+    "BACKEND_NAMES",
     "DEFAULT_PERIOD",
     "DEFAULT_SCALE",
     "MODEL_VERSION",
@@ -53,7 +55,9 @@ DEFAULT_PERIOD = 293
 DEFAULT_SCALE = 1.0
 
 #: Spec-hash schema revision (bump on RunSpec field changes).
-SPEC_SCHEMA = "tea-spec-v1"
+#: v2: backend selection (detailed / functional / sampled) and the
+#: sampled-mode window geometry joined the hashed payload.
+SPEC_SCHEMA = "tea-spec-v2"
 
 
 def _sort_token(value: Any) -> str:
@@ -100,6 +104,59 @@ def canonical(value: Any) -> Any:
     )
 
 
+def validate_workload_kwargs(
+    workload: str, kwargs: Mapping[str, Any]
+) -> None:
+    """Reject workload kwargs the registered builder cannot accept.
+
+    Looks up *workload* in the builder registry and checks every key
+    against the builder's signature, so a typo'd or misplaced engine
+    option (``backend=``, ``perod=``, ...) fails at spec construction
+    with a clear message instead of surfacing as a ``TypeError`` deep
+    inside a worker -- or worse, silently keying a phantom store
+    entry. Unknown workload names are left for :func:`repro.workloads
+    .build` to report, and builders taking ``**kwargs`` accept
+    anything.
+
+    Raises:
+        ValueError: For a kwarg the builder does not accept, naming
+            the keys it does.
+    """
+    if not kwargs:
+        return
+    import inspect
+
+    from repro.workloads import BUILDERS
+
+    builder = BUILDERS.get(workload)
+    if builder is None:
+        return  # unknown workload: build() raises the canonical error
+    params = inspect.signature(builder).parameters
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return
+    accepted = sorted(
+        name
+        for name, p in params.items()
+        if name != "scale"
+        and p.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    )
+    rejected = sorted(set(kwargs) - set(accepted))
+    if rejected:
+        raise ValueError(
+            f"workload {workload!r} does not accept kwarg(s) "
+            f"{', '.join(map(repr, rejected))}; accepted: "
+            + (", ".join(accepted) if accepted else "(none)")
+            + " -- engine options like backend/period belong on the "
+            "spec, not in workload kwargs"
+        )
+
+
 @dataclass(frozen=True, eq=False)
 class RunSpec:
     """One simulation run, fully specified and content-addressable.
@@ -119,6 +176,15 @@ class RunSpec:
         seed: Base RNG seed for the primary samplers.
         extra_seed: Base RNG seed for the extra-period samplers.
         jitter: Randomise inter-sample gaps (see :class:`Sampler`).
+        backend: Execution tier -- ``"detailed"`` (the cycle-level
+            core), ``"functional"`` (atomic, architectural state
+            only), or ``"sampled"`` (detailed windows over functional
+            fast-forward).
+        window: Sampled-mode window length in committed instructions
+            (0 = the :class:`~repro.backends.sampled.WindowPlan`
+            default; ignored by the other backends).
+        stride: Sampled-mode fast-forward length between windows.
+        warmup: Sampled-mode warm-up replay depth per window.
     """
 
     workload: str
@@ -131,6 +197,10 @@ class RunSpec:
     seed: int = 12345
     extra_seed: int = 54321
     jitter: bool = True
+    backend: str = "detailed"
+    window: int = 0
+    stride: int = 0
+    warmup: int = 0
 
     @classmethod
     def make(
@@ -146,8 +216,26 @@ class RunSpec:
         seed: int = 12345,
         extra_seed: int = 54321,
         jitter: bool = True,
+        backend: str = "detailed",
+        window: int = 0,
+        stride: int = 0,
+        warmup: int = 0,
     ) -> "RunSpec":
-        """Build a spec with canonically ordered workload kwargs."""
+        """Build a spec with canonically ordered workload kwargs.
+
+        Raises:
+            ValueError: For an unknown *backend*, or workload kwargs
+                the registered builder does not accept (a typo'd
+                engine option -- e.g. ``backend=`` passed as a
+                workload kwarg -- must fail here, loudly, instead of
+                minting a phantom cache entry).
+        """
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"choose from {', '.join(BACKEND_NAMES)}"
+            )
+        validate_workload_kwargs(workload, kwargs or {})
         items = tuple(sorted((kwargs or {}).items(), key=lambda kv: kv[0]))
         return cls(
             workload=workload,
@@ -160,6 +248,10 @@ class RunSpec:
             seed=seed,
             extra_seed=extra_seed,
             jitter=jitter,
+            backend=backend,
+            window=int(window),
+            stride=int(stride),
+            warmup=int(warmup),
         )
 
     @property
@@ -204,6 +296,10 @@ class RunSpec:
             "seed": self.seed,
             "extra_seed": self.extra_seed,
             "jitter": self.jitter,
+            "backend": self.backend,
+            "window": int(self.window),
+            "stride": int(self.stride),
+            "warmup": int(self.warmup),
         }
 
     @cached_property
@@ -216,11 +312,28 @@ class RunSpec:
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    def window_plan(self):
+        """The sampled-mode :class:`WindowPlan` this spec describes.
+
+        ``window == 0`` means the plan default geometry; returns
+        ``None`` for the non-sampled backends.
+        """
+        if self.backend != "sampled":
+            return None
+        from repro.backends.sampled import WindowPlan
+
+        if self.window <= 0:
+            return WindowPlan()
+        return WindowPlan(
+            window=self.window, stride=self.stride, warmup=self.warmup
+        )
+
     def label(self) -> str:
         """Human-readable short form for logs and error reports."""
         args = ",".join(f"{k}={v!r}" for k, v in self.kwargs)
         name = self.workload + (f":{args}" if args else "")
-        return f"{name}@x{self.scale:g}/p{self.period}"
+        tier = "" if self.backend == "detailed" else f"/{self.backend}"
+        return f"{name}@x{self.scale:g}/p{self.period}{tier}"
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RunSpec):

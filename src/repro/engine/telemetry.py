@@ -42,6 +42,8 @@ class RunMetrics:
         jobs: Worker count the run executed under (1 = in-process).
         attempts: Execution attempts the run took (>1 = it was
             retried after transient failures before succeeding).
+        backend: Execution tier the run used (``"detailed"``,
+            ``"functional"``, or ``"sampled"``).
         timestamp: Unix time the record was created.
     """
 
@@ -54,6 +56,7 @@ class RunMetrics:
     samples: dict[str, int] = field(default_factory=dict)
     jobs: int = 1
     attempts: int = 1
+    backend: str = "detailed"
     timestamp: float = field(default_factory=time.time)
 
     @property
@@ -76,6 +79,7 @@ class RunMetrics:
             "samples": self.samples,
             "jobs": self.jobs,
             "attempts": self.attempts,
+            "backend": self.backend,
             "timestamp": self.timestamp,
         }
 
@@ -230,6 +234,7 @@ def aggregate_records(
     sim_cycles = 0
     log_rates: list[float] = []
     per_workload: dict[str, dict[str, float]] = {}
+    per_backend: dict[str, dict[str, float]] = {}
     for rec in runs:
         source = rec.get("source", "simulated")
         if source not in by_source:
@@ -237,6 +242,14 @@ def aggregate_records(
             wall_by_source[source] = 0.0
         by_source[source] += 1
         wall_by_source[source] += float(rec.get("wall_s", 0.0))
+        tier = per_backend.setdefault(
+            rec.get("backend", "detailed"),
+            {"runs": 0, "sim_cycles": 0, "sim_wall_s": 0.0},
+        )
+        tier["runs"] += 1
+        if source == "simulated":
+            tier["sim_cycles"] += int(rec.get("cycles", 0))
+            tier["sim_wall_s"] += float(rec.get("wall_s", 0.0))
         row = per_workload.setdefault(
             rec.get("workload", "?"),
             {s: 0 for s in SOURCES}
@@ -286,6 +299,19 @@ def aggregate_records(
             "sim_wall_s": round(sim_wall, 6),
             "sim_cycles_per_sec": round(rate, 1),
             "sim_cycles_per_sec_geomean": round(geomean, 1),
+        },
+        "backends": {
+            name: {
+                "runs": int(row["runs"]),
+                "sim_cycles": int(row["sim_cycles"]),
+                "sim_wall_s": round(row["sim_wall_s"], 6),
+                "sim_cycles_per_sec": round(
+                    row["sim_cycles"] / row["sim_wall_s"], 1
+                )
+                if row["sim_wall_s"] > 0
+                else 0.0,
+            }
+            for name, row in sorted(per_backend.items())
         },
         "workloads": workloads,
         "suites": {
@@ -344,8 +370,18 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
         f"({runs['sim_cycles_per_sec']:,.0f} cycles/s, "
         f"geomean {runs['sim_cycles_per_sec_geomean']:,.0f} cycles/s "
         f"over simulated runs only)",
-        "",
     ]
+    backends = agg.get("backends", {})
+    if backends:
+        lines.append(
+            "backends: "
+            + "; ".join(
+                f"{name} {row['runs']} run(s), "
+                f"{row['sim_cycles_per_sec']:,.0f} sim cycles/s"
+                for name, row in backends.items()
+            )
+        )
+    lines.append("")
     rows = [
         [
             name,

@@ -322,6 +322,20 @@ class SetAssocCache:
         set_index, tag = self._index_tag(addr)
         return tag in self._sets.get(set_index, {})
 
+    def settle(self, now: int = 0) -> None:
+        """Declare all in-flight fills complete by time *now*.
+
+        Every resident line becomes ready no later than *now* and the
+        MSHRs drain; contents, LRU order and statistics are untouched.
+        Used by warm-up replay to transfer cache *contents* into a new
+        timing context without carrying over transient fill timing.
+        """
+        self._inflight.clear()
+        for cache_set in self._sets.values():
+            for line in cache_set.values():
+                if line.ready_time > now:
+                    line.ready_time = now
+
     def reset(self) -> None:
         """Drop all lines and statistics."""
         self._sets.clear()

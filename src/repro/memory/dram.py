@@ -69,6 +69,11 @@ class Dram:
         self._next_free = start + self.cycles_per_line
         return queue_delay + self.latency
 
+    def settle(self, now: int = 0) -> None:
+        """Declare the channel idle by time *now* (statistics kept)."""
+        if self._next_free > now:
+            self._next_free = now
+
     def reset(self) -> None:
         """Clear channel state and statistics."""
         self._next_free = 0

@@ -413,6 +413,22 @@ class MemoryHierarchy:
             fill_ready, _ = self._fill_from_llc(next_line, now, False)
             l1i.fill(next_line, now, fill_ready - now, is_prefetch=True)
 
+    def settle(self, now: int = 0) -> None:
+        """Declare all in-flight activity complete by time *now*.
+
+        Cache fills become ready, the DRAM channel goes idle and the
+        in-flight fill bookkeeping clears; contents (lines, TLB
+        translations, LRU order) and statistics are untouched. This is
+        the warm-state hand-off point for sampled simulation: a replayed
+        hierarchy is settled at the window's start time so the window
+        sees warm *contents* without phantom fill contention.
+        """
+        self.l1i.settle(now)
+        self.l1d.settle(now)
+        self.llc.settle(now)
+        self.dram.settle(now)
+        self._fill_was_llc_miss.clear()
+
     def reset(self) -> None:
         """Reset every component (caches, TLBs, DRAM, bookkeeping)."""
         self.l1i.reset()

@@ -65,9 +65,10 @@ from repro.core.events import Event
 from repro.core.pics import PicsProfile
 from repro.core.states import CommitState
 from repro.isa.instructions import INST_BYTES, NO_REG, DynInst
-from repro.isa.interpreter import ArchState, Interpreter
+from repro.isa.interpreter import ArchState
 from repro.isa.opcodes import Opcode, OpClass, op_class
 from repro.isa.program import Program
+from repro.isa.semantics import InstStream
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.uarch.config import CoreConfig
 from repro.uarch.uop import Uop
@@ -191,6 +192,18 @@ class Core:
             (linear sampler polling, dict-of-tuples golden accumulation).
             Slower; used by the A/B harness and equivalence tests to pin
             the optimised hot loop to bit-identical results.
+        stream: An existing :class:`InstStream` to consume (sampled
+            windows share one stream across cores so architectural
+            state and stream position transfer exactly). When given,
+            ``arch_state``/``max_insts`` are ignored -- the stream
+            already owns them.
+        predictor: An injected branch predictor (pre-warmed at sampled
+            window boundaries); a fresh one is built otherwise.
+        commit_limit: Stop committing after exactly this many
+            instructions (sampled measurement windows). The driving
+            loop must stop stepping once ``committed_total`` reaches
+            the limit and then call :meth:`detach_window`; ``run()``
+            itself must not be used with a limit set.
     """
 
     def __init__(
@@ -204,6 +217,9 @@ class Core:
         cycle_trace=None,
         hierarchy: MemoryHierarchy | None = None,
         reference_loop: bool = False,
+        stream: InstStream | None = None,
+        predictor: BranchPredictor | None = None,
+        commit_limit: int | None = None,
     ) -> None:
         self.program = program
         self.fast_forward = fast_forward
@@ -213,9 +229,13 @@ class Core:
         self.config = config or CoreConfig()
         self.samplers = list(samplers)
         # An injected hierarchy lets multicore systems share the LLC
-        # and DRAM channel between per-core hierarchies.
+        # and DRAM channel between per-core hierarchies; an injected
+        # predictor carries warm state into sampled windows.
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
-        self.predictor = BranchPredictor(self.config.branch)
+        self.predictor = (
+            predictor if predictor is not None
+            else BranchPredictor(self.config.branch)
+        )
         self._queue_by_op = {
             op: self.config.queue_of(op_class(op)) for op in Opcode
         }
@@ -239,10 +259,17 @@ class Core:
             or inst.op in (Opcode.JUMP, Opcode.CALL, Opcode.RET)
             for inst in program
         ]
-        self._interp = Interpreter(program, arch_state, max_insts)
-        self._source: Iterator[DynInst] = self._interp.run()
-        self._source_done = False
-        self._replay: deque[DynInst] = deque()
+        # The dynamic-instruction stream may be shared with other
+        # backends (sampled windows): architectural state and stream
+        # position live on the stream, not the core. ``source`` and
+        # ``replay`` never rebind, so the hot-path aliases stay valid.
+        self._stream = (
+            stream if stream is not None
+            else InstStream(program, arch_state, max_insts)
+        )
+        self._source: Iterator[DynInst] = self._stream.source
+        self._replay: deque[DynInst] = self._stream.replay
+        self._commit_limit = commit_limit
 
         # Pipeline structures.
         self.cycle = 0
@@ -307,6 +334,7 @@ class Core:
         self.flush_blame: tuple[int, int] = (-1, 0)
         self._empty_is_flush = False
         self._last_committed: tuple[int, int] | None = None
+        self._last_committed_seq = -1
 
         # Golden attribution and statistics. The optimised loop splits
         # accumulation: event-free cycles go to the flat per-instruction
@@ -342,27 +370,18 @@ class Core:
 
     # ==================================================================
     # Dynamic-instruction stream with replay (for flush re-fetch).
+    # The stream itself lives in repro.isa.semantics -- these wrappers
+    # exist for the manual-stepping API; the fetch hot loop works on
+    # the stream's replay/source/done directly.
     # ==================================================================
     def _peek_dyn(self) -> DynInst | None:
-        if self._replay:
-            return self._replay[0]
-        if self._source_done:
-            return None
-        try:
-            dyn = next(self._source)
-        except StopIteration:
-            self._source_done = True
-            return None
-        self._replay.append(dyn)
-        return dyn
+        return self._stream.peek()
 
     def _consume_dyn(self) -> DynInst:
-        return self._replay.popleft()
+        return self._stream.consume()
 
     def _stream_empty(self) -> bool:
-        return not self._replay and (
-            self._source_done or self._peek_dyn() is None
-        )
+        return self._stream.empty()
 
     # ==================================================================
     # Sampler plumbing.
@@ -407,10 +426,19 @@ class Core:
     # ==================================================================
     # Main loop.
     # ==================================================================
-    def start(self) -> None:
-        """Initialise attached samplers (once, before stepping)."""
-        for sampler in self.samplers:
-            sampler.start(self)
+    def start(self, reset_samplers: bool = True) -> None:
+        """Initialise attached samplers (once, before stepping).
+
+        Args:
+            reset_samplers: Reset sampler state (RNG, due cycle, raw
+                accumulators). Sampled simulation passes False for
+                every window after the first: the samplers continue
+                the concatenated measured-cycle timeline, so only the
+                due-cycle heap is rebuilt.
+        """
+        if reset_samplers:
+            for sampler in self.samplers:
+                sampler.start(self)
         self._build_sampler_heap()
 
     def active(self) -> bool:
@@ -562,6 +590,25 @@ class Core:
     def finish(self) -> None:
         """Public wrapper for end-of-run sampler resolution."""
         self._finish()
+
+    def detach_window(self) -> None:
+        """End a measurement window at the last committed instruction.
+
+        Squashes every in-flight µop back onto the shared instruction
+        stream -- restoring the stream position to the commit boundary
+        exactly, since the trace-driven core commits in stream order --
+        then resolves deferred samples the same way end-of-run does
+        (drain waiters land on the last committed instruction, pending
+        tags drop) and folds golden attribution. The core is finished
+        afterwards; the stream lives on for the next executor.
+        """
+        self._squash_younger_than(self._last_committed_seq)
+        self._finish()
+
+    @property
+    def stream(self) -> InstStream:
+        """The (possibly shared) dynamic-instruction stream."""
+        return self._stream
 
     def result(self) -> CoreResult:
         """Package the current statistics into a :class:`CoreResult`."""
@@ -870,6 +917,15 @@ class Core:
         cycle = self.cycle
         committed: list[Uop] | None = None
         budget = self._commit_width
+        limit = self._commit_limit
+        if limit is not None:
+            # Sampled measurement window: never overshoot the boundary
+            # even within one commit group.
+            remaining = limit - self.committed_total
+            if remaining <= 0:
+                return _NO_UOPS
+            if remaining < budget:
+                budget = remaining
         flushed = False
         while budget and rob:
             head = rob[0]
@@ -965,6 +1021,7 @@ class Core:
             )
         last = committed[-1]
         self._last_committed = (last.index, last.psv)
+        self._last_committed_seq = last.seq
         self._empty_is_flush = flushed or last.causes_flush
         if self._empty_is_flush:
             self.flush_blame = (last.index, last.psv)
@@ -1247,6 +1304,7 @@ class Core:
         progressed = False
         tag_waiters = self._fetch_tag_waiters
         fetched: list[Uop] | None = [] if tag_waiters else None
+        stream = self._stream
         source = self._source
         queue_by_index = self._queue_by_index
         class_by_index = self._class_by_index
@@ -1258,13 +1316,13 @@ class Core:
             # the instruction back instead.
             if replay:
                 dyn = replay.popleft()
-            elif self._source_done:
+            elif stream.done:
                 break
             else:
                 try:
                     dyn = next(source)
                 except StopIteration:
-                    self._source_done = True
+                    stream.done = True
                     break
             index = dyn.static.index
             addr = index * INST_BYTES
@@ -1586,6 +1644,13 @@ class Core:
         cycle = self.cycle
         committed: list[Uop] = []
         budget = self.config.commit_width
+        limit = self._commit_limit
+        if limit is not None:
+            remaining = limit - self.committed_total
+            if remaining <= 0:
+                return []
+            if remaining < budget:
+                budget = remaining
         flushed = False
         while budget and rob:
             head = rob[0]
@@ -1641,6 +1706,7 @@ class Core:
                     [(u.seq, u.index, u.psv) for u in committed]
                 )
             self._last_committed = (last.index, last.psv)
+            self._last_committed_seq = last.seq
             self._empty_is_flush = flushed or last.causes_flush
             if self._empty_is_flush:
                 self.flush_blame = (last.index, last.psv)

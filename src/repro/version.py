@@ -40,17 +40,24 @@ from pathlib import Path
 #: stored run keyed under the old version then misses automatically.
 #: v2: samples_taken counts one sample per sample() even when its weight
 #: is split across several committing µops (stored runs record it).
-MODEL_VERSION = 2
+#: v3: tiered execution backends -- the core replays a shared InstStream,
+#: warm-up replay settles hierarchy timing at window boundaries, and
+#: RunSpec keys cover the backend/window geometry.
+MODEL_VERSION = 3
 
 #: Repo-relative paths of every file whose content can change
 #: simulation results (timing model, samplers, memory system,
 #: functional interpreter, branch predictor, PSV/event semantics).
 #: Registering a file here makes tea-lint TL006 police its drift.
 SEMANTIC_FILES = (
+    "src/repro/backends/functional.py",
+    "src/repro/backends/sampled.py",
+    "src/repro/backends/warmup.py",
     "src/repro/branch/predictor.py",
     "src/repro/core/events.py",
     "src/repro/core/samplers.py",
     "src/repro/isa/interpreter.py",
+    "src/repro/isa/semantics.py",
     "src/repro/memory/cache.py",
     "src/repro/memory/dram.py",
     "src/repro/memory/hierarchy.py",
@@ -61,9 +68,15 @@ SEMANTIC_FILES = (
 
 # --- pinned hashes (auto-generated; python -m repro.version --refresh) ---
 #: MODEL_VERSION the hashes below were pinned under.
-PINNED_MODEL_VERSION = 2
+PINNED_MODEL_VERSION = 3
 #: sha256 of each registered file's bytes at pin time.
 SEMANTIC_HASHES = {
+    "src/repro/backends/functional.py":
+        "e3335f68ba5a68825631fc37718c233d3e5e2a65954ae8ca42a9ff25e74f60d5",
+    "src/repro/backends/sampled.py":
+        "0af891dfd9e581358e3ff59441cb49db7209c2cf52e482d72e349cecf689917e",
+    "src/repro/backends/warmup.py":
+        "59c35f0d5c63e7fbdcc8d3add5d894033139c46c0b735bf520d4006e08fdbdc3",
     "src/repro/branch/predictor.py":
         "6c8345ac40c885720a09f6ff0a72a18eef53b39d93ac6ac846ce290e2125436b",
     "src/repro/core/events.py":
@@ -72,16 +85,18 @@ SEMANTIC_HASHES = {
         "d6e22c5c564844690385285806bfe4413addafea905bd480b84d15ec55e0f121",
     "src/repro/isa/interpreter.py":
         "e04c73de307cb31d15aead2e97a7a17c081828d5dbfa1937c4a892f0aed73c26",
+    "src/repro/isa/semantics.py":
+        "550caae32ecb0bcb606e678f97e0c431cc044d3c459d5c21c7af9b889ec57f10",
     "src/repro/memory/cache.py":
-        "ec5bcbf25454ca280cfea8c0420d9c4223dfa1e2ed24b4fb639e23dcd04302ba",
+        "b18c125e06a7384de209d77600f50fabf5b45a92b1ddbb00763cb6a311d128da",
     "src/repro/memory/dram.py":
-        "ef32cb1d59d2556fd9f8148c67e6297fe2aca16ce7be39ef4b296aec35c63463",
+        "85fe19fe4b3316330ae218f5e3ac468b3119b5fcfbc9f88a803b574e4e16b026",
     "src/repro/memory/hierarchy.py":
-        "c10bef03eb6d4d7392b5270884cde7c2c86347f10ea40719ea93d28d3f39feb5",
+        "027fb82bf74941d6f05460f4237ef932c937d94b08fef6e1196f50820b3d6fdf",
     "src/repro/memory/tlb.py":
         "6e799416dcd20a2c0efd72914ac75ae599d63a83984b0afc4256bf348662e338",
     "src/repro/uarch/core.py":
-        "02c1e45e034c2cddf7ed7222e9edf0067cb318feb0e58db19ecc39696be4cb48",
+        "754fe49d8a7cba94b825b4f768c9dd14d14e3e69d70c3521b6de23208d8c1aaa",
     "src/repro/uarch/uop.py":
         "b9f8e405d1b673cc594b23b967b988527218143e6636d802c5717fc9a0d27a63",
 }

@@ -209,6 +209,74 @@ class TestWorkerSafetyTL005:
         assert result.findings == []
 
 
+class TestBackendPurityTL007:
+    BAD = (
+        "import repro.uarch.core\n"
+        "from repro.uarch.config import CoreConfig\n"
+        "from repro.isa.program import Program\n"
+    )
+
+    def test_isa_package_may_not_import_uarch(self):
+        result = lint_source(
+            self.BAD, path="src/repro/isa/fake.py", rules=["TL007"]
+        )
+        assert rules_of(result) == ["TL007", "TL007"]
+        messages = " | ".join(f.message for f in result.findings)
+        assert "repro.uarch.core" in messages
+        assert "repro.uarch.config" in messages
+        assert "repro.isa.fake" in messages
+
+    def test_uarch_free_backend_modules_are_covered(self):
+        for mod in ("base", "functional", "warmup"):
+            result = lint_source(
+                "from repro.uarch.core import Core\n",
+                path=f"src/repro/backends/{mod}.py",
+                rules=["TL007"],
+            )
+            assert rules_of(result) == ["TL007"], mod
+
+    def test_cycle_level_tier_is_exempt(self):
+        for mod in ("detailed", "sampled", "__init__"):
+            result = lint_source(
+                "from repro.uarch.core import Core\n",
+                path=f"src/repro/backends/{mod}.py",
+                rules=["TL007"],
+            )
+            assert result.findings == [], mod
+
+    def test_unrelated_packages_are_exempt(self):
+        result = lint_source(
+            self.BAD, path="src/repro/engine/fake.py", rules=["TL007"]
+        )
+        assert result.findings == []
+
+    def test_relative_imports_and_isa_imports_pass(self):
+        result = lint_source(
+            "from repro.isa.program import Program\n"
+            "from . import opcodes\n"
+            "import repro.core.pics\n",
+            path="src/repro/isa/fake.py",
+            rules=["TL007"],
+        )
+        assert result.findings == []
+
+    def test_real_pure_layers_are_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_paths
+
+        from tests.analysis.conftest import REPO_ROOT
+
+        root = Path(REPO_ROOT)
+        targets = sorted((root / "src/repro/isa").glob("*.py")) + [
+            root / "src/repro/backends/base.py",
+            root / "src/repro/backends/functional.py",
+            root / "src/repro/backends/warmup.py",
+        ]
+        result = lint_paths(targets, root=root, rules=["TL007"])
+        assert result.findings == []
+
+
 class TestModelVersionTL006:
     def test_repo_pins_are_consistent(self):
         from tests.analysis.conftest import REPO_ROOT

@@ -175,13 +175,15 @@ class TestReporters:
         assert doc["counts"]["active"] == 1
         assert doc["findings"][0]["rule"] == "TL003"
         assert {r["id"] for r in doc["rules"]} == {
-            "TL001", "TL002", "TL003", "TL004", "TL005", "TL006"
+            "TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
+            "TL007",
         }
 
     def test_rule_catalogue_is_complete(self):
         ids = {r["id"] for r in rule_catalogue()}
         assert ids == {
-            "TL001", "TL002", "TL003", "TL004", "TL005", "TL006"
+            "TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
+            "TL007",
         }
 
 

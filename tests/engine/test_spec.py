@@ -12,28 +12,84 @@ from repro.workloads import BUILDERS
 from repro.workloads.base import Workload
 
 
-def test_kwarg_order_permutations_share_a_key():
+def _build_anykw(scale=1.0, **kwargs):  # pragma: no cover - never built
+    raise AssertionError("key-only tests must not build workloads")
+
+
+@pytest.fixture
+def anykw(monkeypatch):
+    """Permissive fake builders: any kwarg passes spec validation."""
+    monkeypatch.setitem(BUILDERS, "anykw", _build_anykw)
+    monkeypatch.setitem(BUILDERS, "othkw", _build_anykw)
+
+
+def test_kwarg_order_permutations_share_a_key(anykw):
     """Regression: the old ``name + repr(sorted(kwargs))`` memo key
     depended on value reprs; the canonical hash must not."""
-    a = RunSpec.make("lbm", {"alpha": 1, "beta": 2.5, "gamma": "x"})
-    b = RunSpec.make("lbm", {"gamma": "x", "alpha": 1, "beta": 2.5})
-    c = RunSpec.make("lbm", {"beta": 2.5, "gamma": "x", "alpha": 1})
+    a = RunSpec.make("anykw", {"alpha": 1, "beta": 2.5, "gamma": "x"})
+    b = RunSpec.make("anykw", {"gamma": "x", "alpha": 1, "beta": 2.5})
+    c = RunSpec.make("anykw", {"beta": 2.5, "gamma": "x", "alpha": 1})
     assert a.key == b.key == c.key
     assert a == b == c
     assert hash(a) == hash(b) == hash(c)
 
 
-def test_dict_valued_kwargs_are_insertion_order_independent():
-    a = RunSpec.make("lbm", {"cfg": {"a": 1, "b": 2}})
-    b = RunSpec.make("lbm", {"cfg": {"b": 2, "a": 1}})
+def test_dict_valued_kwargs_are_insertion_order_independent(anykw):
+    a = RunSpec.make("anykw", {"cfg": {"a": 1, "b": 2}})
+    b = RunSpec.make("anykw", {"cfg": {"b": 2, "a": 1}})
     assert a.key == b.key
 
 
-def test_value_changes_change_the_key():
-    base = RunSpec.make("lbm", {"alpha": 1})
-    assert base.key != RunSpec.make("lbm", {"alpha": 2}).key
-    assert base.key != RunSpec.make("nab", {"alpha": 1}).key
-    assert base.key != RunSpec.make("lbm", {"alpha": 1.0000001}).key
+def test_value_changes_change_the_key(anykw):
+    base = RunSpec.make("anykw", {"alpha": 1})
+    assert base.key != RunSpec.make("anykw", {"alpha": 2}).key
+    assert base.key != RunSpec.make("othkw", {"alpha": 1}).key
+    assert base.key != RunSpec.make("anykw", {"alpha": 1.0000001}).key
+
+
+def test_unknown_workload_kwargs_are_rejected():
+    """A typo'd engine option must fail loudly at spec construction,
+    not mint a phantom cache entry keyed on a kwarg no builder takes."""
+    with pytest.raises(ValueError, match="does not accept"):
+        RunSpec.make("lbm", {"backend": "sampled"})
+    with pytest.raises(ValueError, match="prefetch_distance"):
+        RunSpec.make("lbm", {"prefetch_dist": 2})
+    with pytest.raises(ValueError, match="does not accept"):
+        RunSpec.make("mcf", {"alpha": 1})
+    # The real kwarg still passes.
+    RunSpec.make("lbm", {"prefetch_distance": 2})
+
+
+def test_unknown_workload_names_are_left_to_build():
+    """Validation is lenient on unknown workloads: build() owns that
+    error (tests monkeypatch builders in after spec construction)."""
+    spec = RunSpec.make("no-such-workload", {"anything": 1})
+    assert spec.workload == "no-such-workload"
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        RunSpec.make("lbm", backend="detialed")
+
+
+def test_backend_and_window_geometry_feed_the_key():
+    base = RunSpec.make("lbm")
+    assert base.backend == "detailed"
+    sampled = RunSpec.make("lbm", backend="sampled")
+    assert base.key != sampled.key
+    assert base.key != RunSpec.make("lbm", backend="functional").key
+    assert sampled.key != RunSpec.make(
+        "lbm", backend="sampled", window=256
+    ).key
+    windowed = RunSpec.make(
+        "lbm", backend="sampled", window=256, stride=768, warmup=128
+    )
+    assert windowed.key != RunSpec.make(
+        "lbm", backend="sampled", window=256, stride=768, warmup=256
+    ).key
+    plan = windowed.window_plan()
+    assert (plan.window, plan.stride, plan.warmup) == (256, 768, 128)
+    assert base.window_plan() is None
 
 
 def test_spec_dimensions_feed_the_key():

@@ -337,6 +337,37 @@ def test_geomean_excludes_cache_hits():
     )
 
 
+def test_per_backend_aggregation():
+    """Each tier's throughput aggregates separately: a sampled run's
+    cycles/s must not blend into the detailed-tier average."""
+    from repro.engine.telemetry import aggregate_records
+
+    records = [
+        {"workload": "lbm", "source": "simulated", "wall_s": 2.0,
+         "cycles": 100_000},  # legacy record: implicitly detailed
+        {"workload": "lbm", "source": "simulated", "wall_s": 1.0,
+         "cycles": 400_000, "backend": "sampled"},
+        {"workload": "mcf", "source": "simulated", "wall_s": 0.5,
+         "cycles": 200_000, "backend": "functional"},
+        {"workload": "lbm", "source": "store", "wall_s": 0.01,
+         "cycles": 400_000, "backend": "sampled"},
+    ]
+    backends = aggregate_records(records)["backends"]
+    assert backends["detailed"]["sim_cycles_per_sec"] == pytest.approx(
+        50_000.0
+    )
+    assert backends["sampled"]["sim_cycles_per_sec"] == pytest.approx(
+        400_000.0
+    )
+    assert backends["functional"]["sim_cycles_per_sec"] == (
+        pytest.approx(400_000.0)
+    )
+    assert backends["sampled"]["runs"] == 2  # cache hits still count
+    text = summarize_records(records)
+    assert "backends:" in text
+    assert "sampled" in text
+
+
 def test_stats_json_matches_golden_file():
     import pathlib
 
