@@ -108,8 +108,26 @@ class WindowResult:
 
     @property
     def scale(self) -> float:
-        """Extrapolation factor for this region."""
-        return self.region_insts / self.committed if self.committed else 0.0
+        """Extrapolation factor for this region.
+
+        Raises:
+            ValueError: If the window committed nothing. An empty
+                measurement window has no measured cycles to scale, so
+                returning any factor (0.0 included) would silently
+                erase its region's contribution from the extrapolated
+                totals -- biasing short/tail regions low. The backend
+                never emits such a window (:meth:`SampledBackend
+                .simulate` raises first); a hand-built one must fail
+                loudly here.
+        """
+        if not self.committed:
+            raise ValueError(
+                f"window at {self.start} committed no instructions; "
+                f"its region ({self.ff_insts} fast-forwarded "
+                "instruction(s)) cannot be extrapolated -- fold the "
+                "region into a neighbouring window instead"
+            )
+        return self.region_insts / self.committed
 
 
 @dataclass
@@ -181,7 +199,14 @@ class SampledBackend(ExecutionBackend):
             first = False
             committed = core.committed_total
             if committed == 0:
-                break  # defensive: a window must always make progress
+                # A window over a non-empty stream must make progress;
+                # silently dropping the tail would bias the estimate
+                # low (the region's instructions would vanish from the
+                # extrapolation while still having executed).
+                raise SimulationError(
+                    f"{program.name}: measurement window at {pos} "
+                    "committed no instructions over a non-empty stream"
+                )
             pos += committed
             ff_insts = self._fast_forward(
                 program, config, stream, plan.stride, max_cycles,

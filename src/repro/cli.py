@@ -65,7 +65,7 @@ from repro.experiments import (
     tables,
 )
 from repro.uarch.core import simulate
-from repro.workloads import WORKLOAD_NAMES, build
+from repro.workloads import BUILDERS, WORKLOAD_NAMES, build
 
 
 # ----------------------------------------------------------------------
@@ -392,10 +392,13 @@ def parse_workload_spec(spec: str, scale: float):
             description=f"assembled from {spec}",
         )
     name, _, args_text = spec.partition(":")
-    if name not in WORKLOAD_NAMES:
+    # The full builder registry, not WORKLOAD_NAMES: generated
+    # scenarios ("synth:seed=42,iters=8") profile/diff/advise like any
+    # hand-built kernel even though they are not suite members.
+    if name not in BUILDERS:
         raise SystemExit(
             f"unknown workload {name!r}; choose from "
-            f"{', '.join(WORKLOAD_NAMES)}"
+            f"{', '.join(sorted(BUILDERS))}"
         )
     kwargs = {}
     if args_text:
@@ -692,6 +695,43 @@ def cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args) -> int:
+    """``tea-repro fuzz``: differential scenario fuzzing."""
+    from repro.backends.sampled import WindowPlan
+    from repro.fuzz import DEFAULT_PLAN, corpus, fuzz_batch
+
+    if args.window > 0:
+        plan = WindowPlan(
+            window=args.window, stride=args.stride, warmup=args.warmup
+        )
+    else:
+        plan = DEFAULT_PLAN
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    report = fuzz_batch(
+        seeds,
+        scale=args.scale,
+        plan=plan,
+        shrink=args.shrink,
+        corpus_dir=corpus_dir,
+        budget=args.budget,
+        max_shrink_evals=args.max_shrink_evals,
+        log=print if args.verbose else None,
+        note=f"tea-repro fuzz --start-seed {args.start_seed}",
+    )
+    print(report.summary())
+    if corpus_dir is not None and not report.ok:
+        stats = corpus.corpus_stats(corpus_dir)
+        print(
+            f"corpus: {stats.entries} reproducer(s) in {corpus_dir} "
+            + ", ".join(
+                f"{oracle}={n}"
+                for oracle, n in sorted(stats.by_oracle.items())
+            )
+        )
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -958,6 +998,58 @@ def main(argv: list[str] | None = None) -> int:
         "vs detailed reaches this",
     )
 
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differential scenario fuzzing: generated workloads vs "
+        "the cross-backend oracle set (see docs/internals.md)",
+    )
+    fuzz_parser.add_argument(
+        "--seeds", type=int, default=50, metavar="N",
+        help="number of scenario seeds to run (default 50)",
+    )
+    fuzz_parser.add_argument(
+        "--start-seed", type=int, default=0, metavar="S",
+        help="first scenario seed (default 0); batches over disjoint "
+        "ranges explore disjoint scenarios",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; no new scenario starts after it is "
+        "spent (default: none)",
+    )
+    fuzz_parser.add_argument(
+        "--shrink", action=argparse.BooleanOptionalAction, default=True,
+        help="minimise failing scenarios to a reproducer "
+        "(--no-shrink reports them raw)",
+    )
+    fuzz_parser.add_argument(
+        "--max-shrink-evals", type=int, default=256, metavar="N",
+        help="oracle-set evaluations allowed per shrink (default 256)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write shrunk reproducers to this corpus directory "
+        "(commit them under tests/fuzz_corpus/ to pin the fix)",
+    )
+    fuzz_parser.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="sampled-oracle window length (0 = fuzz default, 256)",
+    )
+    fuzz_parser.add_argument(
+        "--stride", type=int, default=0, metavar="N",
+        help="sampled-oracle fast-forward stride (used when --window "
+        "is set)",
+    )
+    fuzz_parser.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="sampled-oracle warm-up replay depth (used when "
+        "--window is set)",
+    )
+    fuzz_parser.add_argument(
+        "--verbose", action="store_true",
+        help="print a line per scenario and shrink step",
+    )
+
     args = parser.parse_args(argv)
 
     if args.resume and args.no_store:
@@ -980,6 +1072,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_lint(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     if args.command == "figures":
         return cmd_figures(args)
 

@@ -100,10 +100,13 @@ class BenchReport:
 
     def geomean_tier_speedup(self, backend: str) -> float | None:
         """Geometric-mean end-to-end speedup of a tier over detailed."""
+        # Filter on `is not None`, matching geomean_speedup: truthiness
+        # would also drop a measured 0.0 ratio, silently flattering the
+        # geomean instead of surfacing the degenerate measurement.
         speedups = [
             w.speedup_vs_detailed
             for w in self.workloads
-            if w.backend == backend and w.speedup_vs_detailed
+            if w.backend == backend and w.speedup_vs_detailed is not None
         ]
         if not speedups:
             return None

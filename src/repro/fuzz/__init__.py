@@ -1,0 +1,59 @@
+"""Differential scenario fuzzing: generated workloads vs backend oracles.
+
+The CounterPoint-style correctness backstop for the whole stack: a
+scenario seed becomes a synthesized workload
+(:mod:`repro.workloads.synth`), which then runs through every execution
+path the repo has -- the compiled and interpreted functional hot
+loops, the functional / detailed / sampled backends, and the
+``reference_ff`` sampled oracle -- with each pair acting as the other's
+checker (:mod:`repro.fuzz.oracles`). On disagreement the scenario is
+*shrunk* to a minimal reproducer (:mod:`repro.fuzz.shrink`) and written
+to a corpus directory whose entries replay as ordinary pytest cases
+(:mod:`repro.fuzz.corpus`, ``tests/fuzz_corpus/``).
+
+Entry points: :func:`~repro.fuzz.harness.fuzz_batch` (the CLI's
+``tea-repro fuzz``), :func:`~repro.fuzz.oracles.run_scenario` (one
+scenario, full oracle set), :func:`~repro.fuzz.harness.spec_for` (an
+engine :class:`~repro.engine.spec.RunSpec` for a recipe, so fuzz runs
+memoize in the run store).
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    CorpusEntry,
+    default_corpus_dir,
+    load_corpus,
+    read_entry,
+    replay_entry,
+    write_entry,
+)
+from repro.fuzz.harness import FuzzFailure, FuzzReport, fuzz_batch, spec_for
+from repro.fuzz.oracles import (
+    DEFAULT_PLAN,
+    OracleFailure,
+    ScenarioVerdict,
+    run_scenario,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_recipe
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "DEFAULT_PLAN",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleFailure",
+    "ScenarioVerdict",
+    "ShrinkResult",
+    "default_corpus_dir",
+    "fuzz_batch",
+    "load_corpus",
+    "read_entry",
+    "replay_entry",
+    "run_scenario",
+    "shrink_recipe",
+    "spec_for",
+    "write_entry",
+]

@@ -1,0 +1,155 @@
+"""The regression corpus: shrunk reproducers as committed JSON files.
+
+Every disagreement the fuzzer finds ends life as one small JSON file in
+a corpus directory (``tests/fuzz_corpus/`` by default): the shrunk
+recipe's knobs, the oracles that disagreed, and the original scenario
+it shrank from. Corpus files are deterministic -- same failure, same
+bytes -- so they diff cleanly in review, and
+``tests/fuzz/test_corpus.py`` replays every committed entry through the
+full oracle set as ordinary pytest cases: once a bug is found and
+fixed, its reproducer guards the fix forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzz.oracles import DEFAULT_PLAN, ScenarioVerdict, run_scenario
+from repro.workloads.synth import Recipe
+
+#: Corpus file schema tag (bump on CorpusEntry field changes).
+CORPUS_SCHEMA = "tea-fuzz-corpus-v1"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One shrunk reproducer, as stored on disk."""
+
+    knobs: dict  # the minimal recipe, as Recipe.knobs()
+    oracles: tuple[str, ...]  # oracle names that disagreed at discovery
+    detail: str  # the first failure's message at discovery
+    shrunk_from: dict | None = None  # the original recipe's knobs
+    note: str = ""  # free-form context (sabotage tests, CLI batch id)
+    schema: str = CORPUS_SCHEMA
+
+    @property
+    def recipe(self) -> Recipe:
+        """The reproducer's recipe, ready to rebuild."""
+        return Recipe(**self.knobs)
+
+    @property
+    def seed(self) -> int:
+        """The scenario seed (stable across shrinking)."""
+        return int(self.knobs["seed"])
+
+    def filename(self) -> str:
+        """Canonical corpus filename: seed plus the leading oracle."""
+        leading = self.oracles[0] if self.oracles else "unknown"
+        return f"seed{self.seed:05d}-{leading}.json"
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus directory (``tests/fuzz_corpus/``)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+def write_entry(entry: CorpusEntry, corpus_dir: Path) -> Path:
+    """Write *entry* to its canonical file under *corpus_dir*.
+
+    Idempotent for identical failures: the payload is key-sorted and
+    carries no timestamps, so rediscovering a known bug rewrites the
+    same bytes instead of churning the corpus.
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": entry.schema,
+        "knobs": entry.knobs,
+        "oracles": list(entry.oracles),
+        "detail": entry.detail,
+        "shrunk_from": entry.shrunk_from,
+        "note": entry.note,
+    }
+    path = corpus_dir / entry.filename()
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_entry(path: Path) -> CorpusEntry:
+    """Load one corpus file.
+
+    Raises:
+        ValueError: For an unknown schema tag or a malformed payload.
+    """
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema != CORPUS_SCHEMA:
+        raise ValueError(
+            f"{path.name}: unknown corpus schema {schema!r} "
+            f"(expected {CORPUS_SCHEMA!r})"
+        )
+    try:
+        entry = CorpusEntry(
+            knobs=dict(data["knobs"]),
+            oracles=tuple(data["oracles"]),
+            detail=str(data["detail"]),
+            shrunk_from=data.get("shrunk_from"),
+            note=str(data.get("note", "")),
+        )
+        entry.recipe.validate()  # reject knob sets Recipe cannot hold
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"{path.name}: malformed corpus entry: {exc}")
+    return entry
+
+
+def load_corpus(corpus_dir: Path | None = None) -> list[tuple[Path, CorpusEntry]]:
+    """Load every entry in *corpus_dir*, sorted by filename.
+
+    Missing directories load as an empty corpus (a fresh checkout
+    before the first finding is not an error).
+    """
+    corpus_dir = Path(corpus_dir) if corpus_dir else default_corpus_dir()
+    if not corpus_dir.is_dir():
+        return []
+    return [
+        (path, read_entry(path))
+        for path in sorted(corpus_dir.glob("*.json"))
+    ]
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    scale: float = 1.0,
+    plan=DEFAULT_PLAN,
+) -> ScenarioVerdict:
+    """Re-run a corpus entry through the full oracle set.
+
+    A healthy tree returns an ``ok`` verdict for every committed entry
+    (the bug each one reproduces is fixed); a regression flips the
+    entry's oracle back to failing.
+    """
+    return run_scenario(entry.recipe, scale=scale, plan=plan)
+
+
+@dataclass
+class _CorpusStats:
+    """Aggregate corpus shape (CLI reporting)."""
+
+    entries: int = 0
+    by_oracle: dict = field(default_factory=dict)
+
+
+def corpus_stats(corpus_dir: Path | None = None) -> _CorpusStats:
+    """Count entries per leading oracle (CLI ``fuzz`` summary line)."""
+    stats = _CorpusStats()
+    for _path, entry in load_corpus(corpus_dir):
+        stats.entries += 1
+        leading = entry.oracles[0] if entry.oracles else "unknown"
+        stats.by_oracle[leading] = stats.by_oracle.get(leading, 0) + 1
+    return stats

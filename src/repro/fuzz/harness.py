@@ -1,0 +1,200 @@
+"""The fuzz batch driver: seeds in, verdicts and corpus entries out.
+
+:func:`fuzz_batch` is the engine behind ``tea-repro fuzz``: it samples
+one :class:`~repro.workloads.synth.Recipe` per scenario seed, runs each
+through the full oracle set (:func:`~repro.fuzz.oracles.run_scenario`),
+and on disagreement shrinks the scenario to a minimal reproducer
+(:func:`~repro.fuzz.shrink.shrink_recipe`) and writes it to the corpus
+(:mod:`repro.fuzz.corpus`). The scenario function is injectable so the
+shrinker/sabotage tests can substitute a deliberately broken oracle set
+without monkeypatching backend internals.
+
+Shrinking preserves the failure *class*: a candidate counts as "still
+failing" only if its failed-oracle set overlaps the original's, so the
+minimiser cannot wander from (say) a window-identity divergence to an
+unrelated crash and report that instead.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.spec import RunSpec
+from repro.fuzz.corpus import CorpusEntry, write_entry
+from repro.fuzz.oracles import DEFAULT_PLAN, ScenarioVerdict, run_scenario
+from repro.fuzz.shrink import ShrinkResult, shrink_recipe
+from repro.workloads.synth import Recipe
+
+
+@dataclass
+class FuzzFailure:
+    """One disagreeing scenario, with its shrink and corpus artifacts."""
+
+    verdict: ScenarioVerdict  # the original (unshrunk) disagreement
+    shrink: ShrinkResult | None = None
+    entry: CorpusEntry | None = None
+    entry_path: Path | None = None
+
+    @property
+    def seed(self) -> int:
+        """The failing scenario's seed."""
+        return self.verdict.recipe.seed
+
+    @property
+    def reproducer(self) -> Recipe:
+        """The minimal recipe (shrunk if shrinking ran, else original)."""
+        return self.shrink.recipe if self.shrink else self.verdict.recipe
+
+
+@dataclass
+class FuzzReport:
+    """One fuzz batch, summarised."""
+
+    scenarios: int = 0
+    passed: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    shrink_evals: int = 0  # oracle-set evaluations spent shrinking
+    elapsed: float = 0.0  # wall-clock seconds
+    budget_hit: bool = False  # stopped early on the time budget
+
+    @property
+    def ok(self) -> bool:
+        """True when every scenario agreed across all oracles."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One line for CLI output and CI logs."""
+        head = (
+            f"fuzz: {self.passed}/{self.scenarios} scenarios ok "
+            f"in {self.elapsed:.1f}s"
+        )
+        if self.budget_hit:
+            head += " (time budget hit)"
+        if self.ok:
+            return head
+        oracles = sorted(
+            {o for f in self.failures for o in f.verdict.oracles_failed}
+        )
+        return (
+            f"{head}; {len(self.failures)} FAILURE(S) "
+            f"[{', '.join(oracles)}], {self.shrink_evals} shrink eval(s)"
+        )
+
+
+def spec_for(
+    recipe: Recipe,
+    scale: float = 1.0,
+    backend: str = "detailed",
+    **spec_kwargs,
+) -> RunSpec:
+    """An engine :class:`RunSpec` naming this scenario.
+
+    The recipe's knobs become workload kwargs on the registered
+    ``"synth"`` builder, so fuzz scenarios memoize in the run store and
+    replay through every engine entry point exactly like hand-built
+    workloads. All knobs are pinned explicitly (not just the seed):
+    the spec stays valid even if :meth:`Recipe.sample`'s distributions
+    change later.
+    """
+    return RunSpec.make(
+        "synth",
+        recipe.knobs(),
+        scale=scale,
+        backend=backend,
+        **spec_kwargs,
+    )
+
+
+def _still_fails(
+    scenario_fn: Callable[..., ScenarioVerdict],
+    original: ScenarioVerdict,
+    scale: float,
+    plan,
+) -> Callable[[Recipe], bool]:
+    """The shrinker predicate: same failure class, smaller scenario."""
+    target = set(original.oracles_failed)
+
+    def predicate(candidate: Recipe) -> bool:
+        verdict = scenario_fn(candidate, scale, plan)
+        return bool(target & set(verdict.oracles_failed))
+
+    return predicate
+
+
+def fuzz_batch(
+    seeds: Iterable[int],
+    scale: float = 1.0,
+    plan=DEFAULT_PLAN,
+    shrink: bool = True,
+    corpus_dir: Path | None = None,
+    budget: float | None = None,
+    max_shrink_evals: int = 256,
+    scenario_fn: Callable[..., ScenarioVerdict] = run_scenario,
+    log: Callable[[str], None] | None = None,
+    note: str = "",
+) -> FuzzReport:
+    """Fuzz a batch of scenario seeds against the full oracle set.
+
+    Args:
+        seeds: Scenario seeds to run, in order (determinism: the same
+            seed list always produces the same report).
+        scale: Workload scale for every scenario.
+        plan: Sampled-backend window geometry for the oracle set.
+        shrink: Minimise failing scenarios before reporting them.
+        corpus_dir: Where to write reproducer entries; ``None`` skips
+            corpus writing (pure in-memory report).
+        budget: Optional wall-clock budget in seconds; no new scenario
+            starts after it is spent (the current one finishes).
+        max_shrink_evals: Per-failure shrink budget (predicate calls).
+        scenario_fn: The oracle set to run -- injectable for tests.
+        log: Optional per-scenario progress sink (the CLI's printer).
+        note: Free-form context recorded on corpus entries.
+    """
+    report = FuzzReport()
+    start = time.monotonic()
+    for seed in seeds:
+        if budget is not None and time.monotonic() - start > budget:
+            report.budget_hit = True
+            break
+        recipe = Recipe.sample(seed)
+        verdict = scenario_fn(recipe, scale, plan)
+        report.scenarios += 1
+        if log:
+            log(verdict.summary())
+        if verdict.ok:
+            report.passed += 1
+            continue
+        failure = FuzzFailure(verdict=verdict)
+        if shrink:
+            result = shrink_recipe(
+                verdict.recipe,
+                _still_fails(scenario_fn, verdict, scale, plan),
+                max_evals=max_shrink_evals,
+            )
+            failure.shrink = result
+            report.shrink_evals += result.evaluations
+            if log:
+                log(
+                    f"  shrunk seed {seed}: {result.accepted} move(s) "
+                    f"accepted over {result.evaluations} eval(s) -> "
+                    f"{result.recipe.knobs()}"
+                )
+        failure.entry = CorpusEntry(
+            knobs=failure.reproducer.knobs(),
+            oracles=tuple(verdict.oracles_failed),
+            detail=verdict.failures[0].detail,
+            shrunk_from=(
+                verdict.recipe.knobs() if failure.shrink else None
+            ),
+            note=note,
+        )
+        if corpus_dir is not None:
+            failure.entry_path = write_entry(failure.entry, corpus_dir)
+            if log:
+                log(f"  reproducer written: {failure.entry_path}")
+        report.failures.append(failure)
+    report.elapsed = time.monotonic() - start
+    return report

@@ -1,0 +1,152 @@
+"""Greedy deterministic scenario minimisation.
+
+When an oracle disagrees on a scenario, the raw recipe is rarely the
+story: a 700-iteration program with five active event classes usually
+fails for one of them. :func:`shrink_recipe` walks a fixed move list --
+halve the iteration count, drop whole event classes (serial ops,
+branches, FP, streaming, stores, pointer chase), then halve footprints
+and step the chain stride down -- re-running the caller's
+``still_fails`` predicate after each move and keeping the first
+candidate that still fails. After every acceptance the move list
+restarts from the top (a smaller scenario may unlock earlier moves),
+so the result is a local minimum: no single move makes it smaller and
+still failing.
+
+Everything is deterministic: the move order is fixed, acceptance is
+greedy-first, and the predicate is expected to be a pure function of
+the recipe (the oracle set re-runs simulations from fresh state). The
+same failure therefore always shrinks to the same reproducer -- which
+is what makes corpus entries stable, reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.workloads.base import WORD
+from repro.workloads.synth import STRIDE_LADDER, Recipe
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of one shrink run."""
+
+    original: Recipe
+    recipe: Recipe  # the minimal still-failing reproducer
+    evaluations: int  # predicate calls spent
+    accepted: int  # moves that kept the failure
+
+    @property
+    def reduced(self) -> bool:
+        """True when any move was accepted."""
+        return self.accepted > 0
+
+
+def _moves(r: Recipe) -> Iterator[tuple[str, dict]]:
+    """Candidate single-step reductions of *r*, cheapest wins first.
+
+    Ordering matters for determinism and speed: halving ``iters``
+    first makes every later predicate call cheaper; whole event
+    classes drop before their footprints shrink so the reproducer
+    names the *kind* of pressure that matters, not a residual size.
+    """
+    if r.iters > 1:
+        yield "halve iters", {"iters": max(1, r.iters // 2)}
+    # Drop whole event classes.
+    if r.serial_mask_bits >= 0:
+        yield "drop serial ops", {"serial_mask_bits": -1}
+    if r.branches:
+        yield "drop branches", {"branches": 0}
+    if r.fp_ops:
+        yield "drop fp ops", {"fp_ops": 0}
+    if r.stores:
+        yield "drop stores", {"stores": 0}
+    if r.stream_lines:
+        yield "drop stream loads", {"stream_lines": 0}
+    if r.chase_hops:
+        yield "drop pointer chase", {"chase_hops": 0}
+    if r.alu_depth:
+        yield "drop alu chain", {"alu_depth": 0}
+    if r.branch_entropy:
+        yield "zero branch entropy", {"branch_entropy": 0.0}
+    # Halve what remains.
+    if r.branches > 1:
+        yield "halve branches", {"branches": r.branches // 2}
+    if r.fp_ops > 1:
+        yield "halve fp ops", {"fp_ops": r.fp_ops // 2}
+    if r.stores > 1:
+        yield "halve stores", {"stores": r.stores // 2}
+    if r.stream_lines > 1:
+        yield "halve stream loads", {"stream_lines": r.stream_lines // 2}
+    if r.chase_hops > 1:
+        yield "halve chase hops", {"chase_hops": r.chase_hops // 2}
+    if r.alu_depth > 1:
+        yield "halve alu chain", {"alu_depth": r.alu_depth // 2}
+    if r.chase_hops and r.chain_nodes > 1:
+        yield "halve chain", {"chain_nodes": max(1, r.chain_nodes // 2)}
+    if (r.stream_lines or r.stores) and r.stream_kib > 1:
+        yield "halve stream footprint", {"stream_kib": r.stream_kib // 2}
+    # Step the chain stride down the ladder (denser chain, less TLB /
+    # cache pressure) while the chain is still in play.
+    if r.chase_hops and r.chain_stride in STRIDE_LADDER:
+        idx = STRIDE_LADDER.index(r.chain_stride)
+        if idx > 0:
+            yield (
+                "step chain stride down",
+                {"chain_stride": STRIDE_LADDER[idx - 1]},
+            )
+    # Canonicalise knobs the program no longer reads, so reproducers
+    # for the same failure are literally identical recipes. These never
+    # change behaviour -- the predicate call just confirms that.
+    if not r.chase_hops and (r.chain_nodes != 1 or r.chain_stride != WORD):
+        yield (
+            "canonicalise unused chain",
+            {"chain_nodes": 1, "chain_stride": WORD},
+        )
+    if not r.stream_lines and not r.stores and r.stream_kib != 1:
+        yield "canonicalise unused stream", {"stream_kib": 1}
+
+
+def shrink_recipe(
+    recipe: Recipe,
+    still_fails: Callable[[Recipe], bool],
+    max_evals: int = 256,
+) -> ShrinkResult:
+    """Minimise a failing recipe while ``still_fails`` stays true.
+
+    Args:
+        recipe: A recipe the caller has already observed failing
+            (the initial predicate result is not re-checked).
+        still_fails: Pure predicate; True while the candidate still
+            reproduces the original disagreement.
+        max_evals: Budget on predicate calls. Shrinking stops at the
+            budget and returns the best recipe found so far -- a valid
+            (if possibly non-minimal) reproducer either way.
+
+    Returns:
+        The locally minimal reproducer plus shrink statistics.
+    """
+    current = recipe
+    evaluations = 0
+    accepted = 0
+    progress = True
+    while progress and evaluations < max_evals:
+        progress = False
+        for _name, overrides in _moves(current):
+            if evaluations >= max_evals:
+                break
+            candidate = current.with_knobs(**overrides)
+            candidate.validate()
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                accepted += 1
+                progress = True
+                break  # restart the move list on the smaller recipe
+    return ShrinkResult(
+        original=recipe,
+        recipe=current,
+        evaluations=evaluations,
+        accepted=accepted,
+    )

@@ -74,7 +74,7 @@ SEMANTIC_HASHES = {
     "src/repro/backends/functional.py":
         "e3335f68ba5a68825631fc37718c233d3e5e2a65954ae8ca42a9ff25e74f60d5",
     "src/repro/backends/sampled.py":
-        "0af891dfd9e581358e3ff59441cb49db7209c2cf52e482d72e349cecf689917e",
+        "9f8f7804d40f14e169047da33d6d97a2a378e0c454ccf761baf307b9a2cee0af",
     "src/repro/backends/warmup.py":
         "59c35f0d5c63e7fbdcc8d3add5d894033139c46c0b735bf520d4006e08fdbdc3",
     "src/repro/branch/predictor.py":

@@ -52,7 +52,8 @@ def init_pointer_chain(
     base: int,
     n_elems: int,
     stride: int = WORD,
-    seed: int = 7,
+    *,
+    seed: int,
 ) -> None:
     """Write a random single-cycle pointer chain into memory.
 
@@ -60,7 +61,28 @@ def init_pointer_chain(
     the next element in a random Hamiltonian cycle over all elements --
     the classic pointer-chase structure that defeats prefetching and
     exposes full memory latency (omnetpp/mcf analogues).
+
+    ``seed`` is required so every caller states which chain it wants:
+    generated workloads thread their scenario seed through, hand-built
+    kernels pin their historical constants.
+
+    A single-element chain is the (valid) degenerate self-loop
+    ``base -> base``; a chase over it stays put but never faults.
+
+    Raises:
+        ValueError: If ``n_elems`` is not positive or ``stride`` is not
+            positive (a zero stride would alias every element onto one
+            address and silently break the cycle).
     """
+    if n_elems <= 0:
+        raise ValueError(
+            f"pointer chain needs at least one element, got {n_elems}"
+        )
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    if n_elems == 1:
+        state.write_mem(base, base)
+        return
     rng = random.Random(seed)
     order = list(range(1, n_elems))
     rng.shuffle(order)
@@ -87,11 +109,17 @@ def init_random_values(
     base: int,
     n_elems: int,
     stride: int = WORD,
-    seed: int = 11,
+    *,
+    seed: int,
     lo: int = 0,
     hi: int = 1 << 30,
 ) -> None:
-    """Initialise an array with deterministic pseudo-random integers."""
+    """Initialise an array with deterministic pseudo-random integers.
+
+    ``seed`` is required for the same reason as in
+    :func:`init_pointer_chain`: two scenarios with different seeds must
+    not silently share value arrays.
+    """
     rng = random.Random(seed)
     for i in range(n_elems):
         state.write_mem(base + i * stride, rng.randint(lo, hi))

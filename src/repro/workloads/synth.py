@@ -1,0 +1,343 @@
+"""Recipe-driven synthetic workload generator (the "synth" kernel).
+
+The 15 hand-built SPEC analogues pin 15 points of scenario space; this
+module opens the rest of it. A :class:`Recipe` is a small vector of
+event-mix knobs -- pointer-chase depth and footprint (miss rates),
+streaming load pressure, ALU dependency depth, branch count and
+entropy (mispredict pressure), serialising-op rate (flush pressure),
+store pressure -- and :func:`build_synth` deterministically expands a
+recipe into an ordinary :class:`~repro.workloads.base.Workload`:
+LCG-driven loop, pointer chain, value arrays and all.
+
+Parameter sampling is UUNIFAST-style: scale-like knobs (iterations,
+chain footprint) draw log-uniformly so tiny and huge scenarios are
+equally likely per decade, the rest draw from small weighted ladders.
+Everything is a pure function of the scenario ``seed``, and every knob
+can be overridden individually -- which is exactly the surface the
+differential fuzzer's shrinker manipulates (:mod:`repro.fuzz`).
+
+The builder is registered as workload ``"synth"`` so an engine
+:class:`~repro.engine.spec.RunSpec` can name a generated scenario
+(``RunSpec.make("synth", {"seed": 7, ...})``) and fuzz runs memoize in
+the run store like any hand-built workload.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass, replace
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import (
+    LINE,
+    PAGE,
+    WORD,
+    Workload,
+    init_pointer_chain,
+    init_random_values,
+    iterations,
+)
+
+#: Memory layout (disjoint from every hand-built kernel's bases).
+_CHAIN_BASE = 21 << 28
+_STREAM_BASE = 23 << 28
+
+#: Node strides the chain knob draws from: same-line, line-strided,
+#: multi-line (LLC pressure), sparse-page (TLB pressure), page-strided.
+STRIDE_LADDER = (WORD, LINE, 4 * LINE, 1088, PAGE + LINE)
+
+#: LCG constants (shared with the exchange2 analogue's generator).
+_LCG_MUL = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = (1 << 31) - 1
+
+
+def _log_uniform_int(rng: random.Random, lo: int, hi: int) -> int:
+    """A log-uniformly distributed integer in ``[lo, hi]``."""
+    value = int(round(math.exp(rng.uniform(math.log(lo), math.log(hi)))))
+    return max(lo, min(hi, value))
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """One synthesized scenario, fully specified by plain numbers.
+
+    Attributes:
+        seed: Scenario seed; drives state initialisation (pointer
+            chain, value array) and the branch-slot coin flips.
+        iters: Outer-loop iterations before workload ``scale``.
+        chase_hops: Dependent pointer-chase loads per iteration
+            (dependency depth; exposes full memory latency).
+        chain_nodes: Pointer-chain footprint in elements (1 = the
+            degenerate self-loop; small = cache-resident, large =
+            LLC/TLB-missing).
+        chain_stride: Bytes between chain nodes (one of
+            :data:`STRIDE_LADDER`; page strides force TLB walks).
+        stream_lines: Independent line-strided loads per iteration.
+        stream_kib: Streaming footprint in KiB (power of two; the
+            stream offset wraps with a mask).
+        alu_depth: Length of the dependent single-cycle ALU chain.
+        fp_ops: Floating-point ops per iteration.
+        branches: Data-dependent branch slots per iteration.
+        branch_entropy: Probability that a branch slot keys on an LCG
+            bit (~50% taken, mispredict-heavy) instead of being
+            statically predictable.
+        serial_mask_bits: Flush pressure: a serialising op fires on
+            iterations where the LCG's low ``k`` bits are zero (rate
+            ``1/2^k``; 0 = every iteration, -1 = no serial ops).
+        stores: Stores into the streaming array per iteration.
+    """
+
+    seed: int
+    iters: int = 400
+    chase_hops: int = 1
+    chain_nodes: int = 256
+    chain_stride: int = LINE
+    stream_lines: int = 1
+    stream_kib: int = 16
+    alu_depth: int = 4
+    fp_ops: int = 0
+    branches: int = 1
+    branch_entropy: float = 0.5
+    serial_mask_bits: int = -1
+    stores: int = 0
+
+    @classmethod
+    def sample(cls, seed: int) -> "Recipe":
+        """Draw a scenario from the seed's log-uniform parameter sweep."""
+        rng = random.Random(f"tea-synth-recipe-{seed}")
+        return cls(
+            seed=seed,
+            iters=_log_uniform_int(rng, 80, 800),
+            chase_hops=rng.choice((0, 1, 1, 2, 3)),
+            chain_nodes=_log_uniform_int(rng, 1, 2048),
+            chain_stride=rng.choice(STRIDE_LADDER),
+            stream_lines=rng.choice((0, 0, 1, 2, 4)),
+            stream_kib=2 ** rng.randint(0, 8),
+            alu_depth=rng.randint(0, 8),
+            fp_ops=rng.choice((0, 0, 1, 2, 4)),
+            branches=rng.randint(0, 3),
+            branch_entropy=round(rng.random(), 3),
+            serial_mask_bits=rng.choice((-1, -1, -1, -1, 3, 4, 5)),
+            stores=rng.choice((0, 0, 1, 2)),
+        )
+
+    def validate(self) -> None:
+        """Reject recipes no synthesizable program corresponds to.
+
+        Raises:
+            ValueError: Naming the first bad knob.
+        """
+        if self.iters < 1:
+            raise ValueError(f"iters must be >= 1, got {self.iters}")
+        if self.chain_nodes < 1:
+            raise ValueError(
+                f"chain_nodes must be >= 1, got {self.chain_nodes}"
+            )
+        if self.chain_stride < WORD:
+            raise ValueError(
+                f"chain_stride must be >= {WORD}, got {self.chain_stride}"
+            )
+        if self.stream_kib < 1 or self.stream_kib & (self.stream_kib - 1):
+            raise ValueError(
+                "stream_kib must be a positive power of two, got "
+                f"{self.stream_kib}"
+            )
+        for knob in ("chase_hops", "stream_lines", "alu_depth", "fp_ops",
+                     "branches", "stores"):
+            if getattr(self, knob) < 0:
+                raise ValueError(
+                    f"{knob} must be >= 0, got {getattr(self, knob)}"
+                )
+        if not 0.0 <= self.branch_entropy <= 1.0:
+            raise ValueError(
+                "branch_entropy must be in [0, 1], got "
+                f"{self.branch_entropy}"
+            )
+        if self.serial_mask_bits < -1:
+            raise ValueError(
+                "serial_mask_bits must be >= -1 (-1 = off), got "
+                f"{self.serial_mask_bits}"
+            )
+
+    def knobs(self) -> dict:
+        """The recipe as a flat JSON-able dict (RunSpec / corpus form)."""
+        return asdict(self)
+
+    def with_knobs(self, **overrides) -> "Recipe":
+        """A copy with some knobs replaced (the shrinker's move set)."""
+        return replace(self, **overrides)
+
+
+def _build_program(recipe: Recipe, iters: int):
+    """Expand a recipe into a program (pure function of the recipe)."""
+    rng = random.Random(f"tea-synth-body-{recipe.seed}")
+    touches_stream = recipe.stream_lines > 0 or recipe.stores > 0
+    stream_mask = recipe.stream_kib * 1024 - 1
+
+    b = ProgramBuilder(f"synth-{recipe.seed}")
+    b.function("synth_kernel")
+    b.li("x1", iters)
+    b.li("x2", _CHAIN_BASE)
+    b.li("x3", (0x2A005EED ^ (recipe.seed & _LCG_MASK)) | 1)
+    b.li("x4", _LCG_MUL)
+    b.li("x5", _LCG_MASK)
+    if touches_stream:
+        b.li("x6", 0)
+        b.li("x7", stream_mask)
+        b.li("x8", _STREAM_BASE)
+    b.label("loop")
+    # LCG step: the per-iteration entropy source every data-dependent
+    # segment keys on.
+    b.mul("x3", "x3", "x4")
+    b.addi("x3", "x3", _LCG_INC)
+    b.and_("x3", "x3", "x5")
+    # Pointer chase: serialised loads, latency fully exposed.
+    for _ in range(recipe.chase_hops):
+        b.load("x2", "x2", 0)
+    # Streaming loads: independent, line-strided, wrapped by the mask.
+    if recipe.stream_lines:
+        b.add("x9", "x8", "x6")
+        for k in range(recipe.stream_lines):
+            b.load("x10", "x9", k * LINE)
+    # Dependent ALU chain (single-cycle ops, pure dependency depth).
+    for k in range(recipe.alu_depth):
+        if k % 2:
+            b.xor("x14", "x14", "x3")
+        else:
+            b.addi("x14", "x14", k + 1)
+    # Floating-point pressure (values irrelevant; latency is fixed).
+    for k in range(recipe.fp_ops):
+        if k % 2:
+            b.fmul("f2", "f2", "f3")
+        else:
+            b.fadd("f1", "f1", "f2")
+    # Branch slots: same shape either way, only the tested mask
+    # differs -- an LCG bit (~50/50, mispredict-heavy) or the constant
+    # 0 (always taken, trivially predicted).
+    for j in range(recipe.branches):
+        lcg_keyed = rng.random() < recipe.branch_entropy
+        mask = (1 << (4 + 3 * j)) if lcg_keyed else 0
+        b.andi("x12", "x3", mask)
+        b.beq("x12", "x0", f"bskip{j}")
+        b.addi("x13", "x13", 1)
+        b.label(f"bskip{j}")
+    # Stores into the streaming array (load/store interaction).
+    if recipe.stores:
+        b.add("x16", "x8", "x6")
+        for k in range(recipe.stores):
+            b.store("x13", "x16", k * WORD)
+    # Advance and wrap the stream offset after all uses this iteration.
+    if touches_stream:
+        b.addi("x6", "x6", max(recipe.stream_lines, 1) * LINE)
+        b.and_("x6", "x6", "x7")
+    # Flush pressure: serialise when the LCG's low bits are all zero.
+    if recipe.serial_mask_bits >= 0:
+        b.andi("x11", "x3", (1 << recipe.serial_mask_bits) - 1)
+        b.bne("x11", "x0", "no_serial")
+        b.serial()
+        b.label("no_serial")
+    b.addi("x1", "x1", -1)
+    b.bne("x1", "x0", "loop")
+    b.function("main")
+    b.halt()
+    return b.build()
+
+
+def build_from_recipe(recipe: Recipe, scale: float = 1.0) -> Workload:
+    """Expand a validated recipe into a ready-to-simulate workload.
+
+    Raises:
+        ValueError: For an invalid recipe (see :meth:`Recipe.validate`).
+    """
+    recipe.validate()
+    iters = iterations(recipe.iters, scale, minimum=4)
+    program = _build_program(recipe, iters)
+
+    def state_builder() -> ArchState:
+        state = ArchState()
+        if recipe.chase_hops:
+            # The scenario seed (not a shared constant) shapes the
+            # chain, so two seeds never walk identical memory.
+            init_pointer_chain(
+                state,
+                _CHAIN_BASE,
+                recipe.chain_nodes,
+                recipe.chain_stride,
+                seed=recipe.seed,
+            )
+        if recipe.stream_lines or recipe.stores:
+            init_random_values(
+                state,
+                _STREAM_BASE,
+                n_elems=(recipe.stream_kib * 1024) // LINE,
+                stride=LINE,
+                seed=recipe.seed + 1,
+            )
+        return state
+
+    return Workload(
+        name=f"synth-{recipe.seed}",
+        program=program,
+        state_builder=state_builder,
+        description=(
+            "Recipe-synthesized scenario: chase x"
+            f"{recipe.chase_hops} over {recipe.chain_nodes} nodes, "
+            f"{recipe.stream_lines} stream lines, {recipe.branches} "
+            f"branches @ entropy {recipe.branch_entropy:g}"
+        ),
+        traits=("synth",),
+        params=recipe.knobs(),
+    )
+
+
+def build_synth(
+    scale: float = 1.0,
+    seed: int = 0,
+    iters: int | None = None,
+    chase_hops: int | None = None,
+    chain_nodes: int | None = None,
+    chain_stride: int | None = None,
+    stream_lines: int | None = None,
+    stream_kib: int | None = None,
+    alu_depth: int | None = None,
+    fp_ops: int | None = None,
+    branches: int | None = None,
+    branch_entropy: float | None = None,
+    serial_mask_bits: int | None = None,
+    stores: int | None = None,
+) -> Workload:
+    """Build the ``synth`` workload for a scenario seed.
+
+    Knobs left as ``None`` take the seed's sampled values
+    (:meth:`Recipe.sample`); passing a knob pins it, which is how the
+    fuzzer replays shrunk reproducers through the ordinary workload
+    registry (and how a :class:`~repro.engine.spec.RunSpec` names one).
+
+    Raises:
+        ValueError: For an invalid knob combination.
+    """
+    recipe = Recipe.sample(seed)
+    overrides = {
+        name: value
+        for name, value in (
+            ("iters", iters),
+            ("chase_hops", chase_hops),
+            ("chain_nodes", chain_nodes),
+            ("chain_stride", chain_stride),
+            ("stream_lines", stream_lines),
+            ("stream_kib", stream_kib),
+            ("alu_depth", alu_depth),
+            ("fp_ops", fp_ops),
+            ("branches", branches),
+            ("branch_entropy", branch_entropy),
+            ("serial_mask_bits", serial_mask_bits),
+            ("stores", stores),
+        )
+        if value is not None
+    }
+    if overrides:
+        recipe = recipe.with_knobs(**overrides)
+    return build_from_recipe(recipe, scale)

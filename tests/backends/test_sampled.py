@@ -194,3 +194,28 @@ def test_empty_warmup_history_is_cold_but_harmless():
     warm_window_state([], hierarchy, predictor,
                       config.memory.line_bytes)
     assert hierarchy.dram._next_free <= 0
+
+
+def test_empty_window_scale_raises():
+    # A window that committed nothing has no measured cycles to
+    # extrapolate from; returning any factor (the old code returned
+    # 0.0) would silently erase its region from the totals.
+    from repro.backends.sampled import WindowResult
+    from repro.uarch.core import FlushStats
+
+    window = WindowResult(
+        start=0, committed=0, cycles=0, ff_insts=512,
+        golden_raw={}, state_cycles={}, event_counts={},
+        exec_counts={}, stall_histogram=Counter(),
+        evented_execs=0, combined_execs=0, flushes=FlushStats(),
+    )
+    with pytest.raises(ValueError, match="committed no instructions"):
+        window.scale
+    # A committed window scales normally.
+    populated = WindowResult(
+        start=0, committed=256, cycles=300, ff_insts=768,
+        golden_raw={}, state_cycles={}, event_counts={},
+        exec_counts={}, stall_histogram=Counter(),
+        evented_execs=0, combined_execs=0, flushes=FlushStats(),
+    )
+    assert populated.scale == pytest.approx(4.0)

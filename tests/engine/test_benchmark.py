@@ -117,3 +117,38 @@ def test_run_suite_end_to_end():
     assert bench.speedup is not None and bench.speedup > 0
     entries = report.to_bench_entries()
     assert entries["lbm"]["cycles_per_sec"] > 0
+
+
+def _tier_row(name, backend, ratio):
+    return WorkloadBench(
+        name=f"{name}@{backend}", cycles=100, cycles_per_sec=50.0,
+        backend=backend, speedup_vs_detailed=ratio,
+    )
+
+
+def test_geomean_tier_speedup_filters_on_none_not_truthiness():
+    report = BenchReport(
+        workloads=[
+            _tier_row("a", "functional", 4.0),
+            _tier_row("b", "functional", 1.0),
+            _tier_row("c", "functional", None),  # unmeasured: excluded
+            _tier_row("a", "sampled", 9.0),  # other tier: excluded
+        ]
+    )
+    assert report.geomean_tier_speedup("functional") == pytest.approx(2.0)
+    assert report.geomean_tier_speedup("sampled") == pytest.approx(9.0)
+    assert report.geomean_tier_speedup("detailed") is None
+
+
+def test_geomean_tier_speedup_surfaces_zero_ratio():
+    # A measured 0.0 ratio is a degenerate measurement. The old
+    # truthiness filter silently dropped it (flattering the geomean);
+    # the `is not None` filter keeps it, and the log blows up loudly.
+    report = BenchReport(
+        workloads=[
+            _tier_row("a", "functional", 2.0),
+            _tier_row("b", "functional", 0.0),
+        ]
+    )
+    with pytest.raises(ValueError):
+        report.geomean_tier_speedup("functional")

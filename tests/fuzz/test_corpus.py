@@ -1,0 +1,133 @@
+"""Corpus round-trip, committed-entry replay, and the sabotage gate."""
+
+import json
+
+import pytest
+
+import repro.fuzz.oracles as oracles
+from repro.fuzz import (
+    CORPUS_SCHEMA,
+    CorpusEntry,
+    default_corpus_dir,
+    fuzz_batch,
+    load_corpus,
+    read_entry,
+    replay_entry,
+    write_entry,
+)
+from repro.isa.instructions import Opcode
+from repro.workloads.synth import Recipe
+
+
+def _entry(**overrides) -> CorpusEntry:
+    fields = dict(
+        knobs=Recipe.sample(12).with_knobs(iters=6).knobs(),
+        oracles=("arch-state",),
+        detail="exec counts diverge: inst 0: 2 vs 1",
+        shrunk_from=Recipe.sample(12).knobs(),
+        note="unit test",
+    )
+    fields.update(overrides)
+    return CorpusEntry(**fields)
+
+
+def test_write_read_round_trip(tmp_path):
+    entry = _entry()
+    path = write_entry(entry, tmp_path)
+    assert path.name == "seed00012-arch-state.json"
+    assert read_entry(path) == entry
+
+
+def test_writes_are_idempotent(tmp_path):
+    first = write_entry(_entry(), tmp_path).read_bytes()
+    second = write_entry(_entry(), tmp_path).read_bytes()
+    assert first == second
+
+
+def test_unknown_schema_rejected(tmp_path):
+    path = write_entry(_entry(), tmp_path)
+    data = json.loads(path.read_text())
+    data["schema"] = "tea-fuzz-corpus-v999"
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="unknown corpus schema"):
+        read_entry(path)
+
+
+def test_malformed_knobs_rejected(tmp_path):
+    path = write_entry(_entry(), tmp_path)
+    data = json.loads(path.read_text())
+    data["knobs"]["no_such_knob"] = 1
+    path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="malformed corpus entry"):
+        read_entry(path)
+
+
+def test_load_missing_corpus_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nowhere") == []
+
+
+def test_committed_corpus_exists():
+    # The committed corpus must exist and hold at least the bootstrap
+    # regression entry -- CI replays it on every run.
+    entries = load_corpus()
+    assert default_corpus_dir().is_dir()
+    assert entries, "tests/fuzz_corpus/ must hold at least one entry"
+    for _path, entry in entries:
+        assert entry.schema == CORPUS_SCHEMA
+
+
+@pytest.mark.parametrize(
+    "path_and_entry",
+    load_corpus(),
+    ids=lambda pe: pe[0].name,
+)
+def test_committed_corpus_replays_clean(path_and_entry):
+    # Every committed reproducer pins a fixed bug: a healthy tree
+    # passes the full oracle set on each one.
+    _path, entry = path_and_entry
+    verdict = replay_entry(entry)
+    assert verdict.ok, verdict.summary()
+
+
+# ----------------------------------------------------------------------
+# Acceptance gate: a sabotaged backend is caught, shrunk, and lands in
+# the corpus as a replayable reproducer file.
+# ----------------------------------------------------------------------
+def test_sabotaged_backend_yields_corpus_reproducer(
+    monkeypatch, tmp_path
+):
+    real = oracles.simulate_functional
+
+    def sabotaged(program, config=None, arch_state=None, **kw):
+        result = real(program, config, arch_state=arch_state, **kw)
+        if any(
+            program[i].op is Opcode.SERIAL for i in range(len(program))
+        ):
+            index = next(iter(result.exec_counts))
+            result.exec_counts[index] += 1
+        return result
+
+    monkeypatch.setattr(oracles, "simulate_functional", sabotaged)
+    seed = next(
+        s for s in range(100) if Recipe.sample(s).serial_mask_bits >= 0
+    )
+    report = fuzz_batch(
+        [seed], shrink=True, corpus_dir=tmp_path, note="sabotage gate"
+    )
+    assert not report.ok
+    (failure,) = report.failures
+    assert failure.entry_path is not None and failure.entry_path.exists()
+
+    # The file round-trips and names the original scenario it shrank
+    # from, so the reproducer is auditable.
+    entry = read_entry(failure.entry_path)
+    assert entry.shrunk_from == Recipe.sample(seed).knobs()
+    assert entry.oracles == tuple(failure.verdict.oracles_failed)
+    assert entry.recipe == failure.reproducer
+
+    # With the sabotage still live the reproducer fails; with the real
+    # backend restored it replays clean -- exactly the corpus
+    # lifecycle of a found-then-fixed bug.
+    assert not replay_entry(entry).ok
+    monkeypatch.setattr(oracles, "simulate_functional", real)
+    assert replay_entry(entry).ok

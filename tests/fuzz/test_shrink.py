@@ -1,0 +1,138 @@
+"""The greedy scenario minimiser (repro.fuzz.shrink)."""
+
+import pytest
+
+import repro.fuzz.oracles as oracles
+from repro.fuzz import fuzz_batch, shrink_recipe
+from repro.isa.instructions import Opcode
+from repro.workloads.base import WORD
+from repro.workloads.synth import Recipe
+
+
+def test_pure_predicate_shrinks_to_minimum():
+    # Failure depends only on serial ops being present: everything
+    # else must shrink away.
+    recipe = Recipe.sample(17).with_knobs(serial_mask_bits=4)
+
+    def still_fails(candidate: Recipe) -> bool:
+        return candidate.serial_mask_bits >= 0
+
+    result = shrink_recipe(recipe, still_fails)
+    minimal = result.recipe
+    assert minimal.serial_mask_bits >= 0  # the trigger survives
+    assert minimal.iters == 1
+    assert minimal.chase_hops == 0
+    assert minimal.branches == 0
+    assert minimal.fp_ops == 0
+    assert minimal.stream_lines == 0
+    assert minimal.stores == 0
+    assert minimal.alu_depth == 0
+    # Unused knobs canonicalise so equal failures yield equal files.
+    assert minimal.chain_nodes == 1
+    assert minimal.chain_stride == WORD
+    assert minimal.stream_kib == 1
+    assert result.reduced
+
+
+def test_shrink_is_deterministic():
+    recipe = Recipe.sample(23).with_knobs(branches=3)
+
+    def still_fails(candidate: Recipe) -> bool:
+        return candidate.branches > 0
+
+    a = shrink_recipe(recipe, still_fails)
+    b = shrink_recipe(recipe, still_fails)
+    assert a.recipe == b.recipe
+    assert a.evaluations == b.evaluations
+
+
+def test_budget_bounds_predicate_calls():
+    recipe = Recipe.sample(31)
+    calls = []
+
+    def still_fails(candidate: Recipe) -> bool:
+        calls.append(candidate)
+        return True  # everything "fails": worst case for the budget
+
+    result = shrink_recipe(recipe, still_fails, max_evals=7)
+    assert result.evaluations == len(calls) == 7
+
+
+def test_unshrinkable_failure_returns_original():
+    recipe = Recipe.sample(3)
+
+    def still_fails(candidate: Recipe) -> bool:
+        return False  # no candidate reproduces
+
+    result = shrink_recipe(recipe, still_fails)
+    assert result.recipe == recipe
+    assert not result.reduced
+
+
+# ----------------------------------------------------------------------
+# Satellite: a seeded backend divergence must shrink deterministically
+# through the real harness to a minimal reproducer.
+# ----------------------------------------------------------------------
+def _sabotage_serial_scenarios(monkeypatch):
+    """Corrupt the functional backend only for programs with SERIAL ops.
+
+    The shrinker must then preserve ``serial_mask_bits >= 0`` (the
+    trigger) while stripping every other event class.
+    """
+    real = oracles.simulate_functional
+
+    def sabotaged(program, config=None, arch_state=None, **kw):
+        result = real(program, config, arch_state=arch_state, **kw)
+        if any(
+            program[i].op is Opcode.SERIAL for i in range(len(program))
+        ):
+            index = next(iter(result.exec_counts))
+            result.exec_counts[index] += 1
+        return result
+
+    monkeypatch.setattr(oracles, "simulate_functional", sabotaged)
+
+
+@pytest.fixture()
+def serial_seed():
+    """A scenario seed whose sampled recipe contains serial ops."""
+    seed = next(
+        s for s in range(100) if Recipe.sample(s).serial_mask_bits >= 0
+    )
+    assert Recipe.sample(seed).branches  # shrinkable surface exists
+    return seed
+
+
+def test_known_divergence_shrinks_to_minimal_repro(
+    monkeypatch, serial_seed
+):
+    _sabotage_serial_scenarios(monkeypatch)
+    report = fuzz_batch([serial_seed], shrink=True)
+    assert not report.ok
+    (failure,) = report.failures
+    minimal = failure.reproducer
+    # The trigger survives; everything else is stripped to the floor.
+    assert minimal.serial_mask_bits >= 0
+    assert minimal.iters == 1
+    assert minimal.chase_hops == 0
+    assert minimal.branches == 0
+    assert minimal.stream_lines == 0
+    assert minimal.stores == 0
+    assert minimal.alu_depth == 0
+    assert minimal.fp_ops == 0
+    # Deterministic: the same sabotage shrinks to the same recipe.
+    report2 = fuzz_batch([serial_seed], shrink=True)
+    assert report2.failures[0].reproducer == minimal
+    assert report2.shrink_evals == report.shrink_evals
+
+
+def test_shrink_preserves_failure_class(monkeypatch, serial_seed):
+    _sabotage_serial_scenarios(monkeypatch)
+    report = fuzz_batch([serial_seed], shrink=True)
+    (failure,) = report.failures
+    # The shrunk reproducer still fails the same oracles as the
+    # original discovery (the predicate demands overlap).
+    verdict = oracles.run_scenario(failure.reproducer)
+    assert set(verdict.oracles_failed) & set(
+        failure.verdict.oracles_failed
+    )

@@ -1,0 +1,106 @@
+"""Shared workload infrastructure: pointer chains and value arrays."""
+
+import pytest
+
+from repro.isa.interpreter import ArchState
+from repro.workloads.base import (
+    WORD,
+    init_pointer_chain,
+    init_random_values,
+)
+
+BASE = 1 << 20
+
+
+def _chain_cycle(state, base, stride, n_elems):
+    """Follow the chain from ``base``; return the visited addresses."""
+    visited = []
+    addr = base
+    for _ in range(n_elems):
+        visited.append(addr)
+        addr = int(state.read_mem(addr))
+    assert addr == base, "chain must close into a cycle"
+    return visited
+
+
+def test_chain_is_a_hamiltonian_cycle():
+    state = ArchState()
+    init_pointer_chain(state, BASE, 64, WORD, seed=7)
+    visited = _chain_cycle(state, BASE, WORD, 64)
+    expected = {BASE + i * WORD for i in range(64)}
+    assert set(visited) == expected  # every element, exactly once
+
+
+def test_single_element_chain_is_a_self_loop():
+    # The degenerate n_elems == 1 case used to write an unvalidated
+    # chain; it must be the explicit self-loop base -> base.
+    state = ArchState()
+    init_pointer_chain(state, BASE, 1, WORD, seed=7)
+    assert state.read_mem(BASE) == BASE
+    assert len(state.memory) == 1
+
+
+def test_two_element_chain_alternates():
+    state = ArchState()
+    init_pointer_chain(state, BASE, 2, WORD, seed=7)
+    assert state.read_mem(BASE) == BASE + WORD
+    assert state.read_mem(BASE + WORD) == BASE
+
+
+def test_empty_chain_rejected():
+    # n_elems == 0 used to die in random internals (ZeroDivisionError
+    # via shuffle over an empty order); it must be a clear ValueError.
+    state = ArchState()
+    with pytest.raises(ValueError, match="at least one element"):
+        init_pointer_chain(state, BASE, 0, WORD, seed=7)
+    with pytest.raises(ValueError, match="at least one element"):
+        init_pointer_chain(state, BASE, -3, WORD, seed=7)
+
+
+def test_degenerate_stride_rejected():
+    # stride 0 aliases every element onto one address and silently
+    # breaks the cycle invariant.
+    state = ArchState()
+    with pytest.raises(ValueError, match="stride"):
+        init_pointer_chain(state, BASE, 8, 0, seed=7)
+
+
+def test_chain_seed_changes_layout():
+    a, b = ArchState(), ArchState()
+    init_pointer_chain(a, BASE, 64, WORD, seed=7)
+    init_pointer_chain(b, BASE, 64, WORD, seed=8)
+    assert a.memory != b.memory
+
+
+def test_chain_seed_is_reproducible():
+    a, b = ArchState(), ArchState()
+    init_pointer_chain(a, BASE, 64, WORD, seed=7)
+    init_pointer_chain(b, BASE, 64, WORD, seed=7)
+    assert a.memory == b.memory
+
+
+def test_chain_seed_is_keyword_only():
+    # Callers must state which chain they want; a positional seed
+    # would silently shift into the stride slot on refactors.
+    state = ArchState()
+    with pytest.raises(TypeError):
+        init_pointer_chain(state, BASE, 64, WORD, 7)  # noqa: B026
+
+
+def test_random_values_seed_threading():
+    a, b, c = ArchState(), ArchState(), ArchState()
+    init_random_values(a, BASE, 32, seed=11)
+    init_random_values(b, BASE, 32, seed=11)
+    init_random_values(c, BASE, 32, seed=12)
+    assert a.memory == b.memory
+    assert a.memory != c.memory
+    with pytest.raises(TypeError):
+        init_random_values(a, BASE, 32, WORD, 11)
+
+
+def test_random_values_respect_bounds():
+    state = ArchState()
+    init_random_values(state, BASE, 100, seed=5, lo=10, hi=20)
+    values = list(state.memory.values())
+    assert len(values) == 100
+    assert all(10 <= v <= 20 for v in values)
