@@ -391,6 +391,16 @@ def parse_workload_spec(spec: str, scale: float):
             state_builder=ArchState,
             description=f"assembled from {spec}",
         )
+    name, kwargs = parse_workload_fields(spec)
+    return build(name, scale=scale, **kwargs)
+
+
+def parse_workload_fields(spec: str) -> tuple[str, dict]:
+    """Split ``name[:key=value,...]`` into (name, builder kwargs).
+
+    Raises:
+        SystemExit: On unknown workload names or malformed specs.
+    """
     name, _, args_text = spec.partition(":")
     # The full builder registry, not WORKLOAD_NAMES: generated
     # scenarios ("synth:seed=42,iters=8") profile/diff/advise like any
@@ -418,7 +428,7 @@ def parse_workload_spec(spec: str, scale: float):
                 elif value in ("false", "False"):
                     value = False
             kwargs[key] = value
-    return build(name, scale=scale, **kwargs)
+    return name, kwargs
 
 
 def _profile_workload(workload, technique: str, period: int):
@@ -551,6 +561,243 @@ def cmd_diff(args) -> int:
             after_name=after_wl.name,
         )
     )
+    return 0
+
+
+def _query_spec(spec_str: str, args):
+    """The RunSpec a ``query`` workload argument describes."""
+    from repro.engine.spec import RunSpec
+
+    if spec_str.endswith(".asm"):
+        raise SystemExit(
+            "query works on registered workloads (the trace sidecar "
+            "is keyed by RunSpec); .asm files are not storable"
+        )
+    name, kwargs = parse_workload_fields(spec_str)
+    return RunSpec.make(
+        name, kwargs, scale=args.scale, period=args.period
+    )
+
+
+def _query_for(spec, args, run_store, run_log):
+    """A TraceQuery over *spec*'s trace (sidecar hit or fresh capture)."""
+    from repro.engine.runs import build_workload
+    from repro.trace import TraceQuery, capture_run, ensure_trace
+
+    if run_store is None:
+        run, store = capture_run(spec)
+        return TraceQuery(store, run.workload.program)
+    store = ensure_trace(
+        spec, run_store, refresh=args.refresh, run_log=run_log
+    )
+    return TraceQuery(store, build_workload(spec).program)
+
+
+def cmd_query(args) -> int:
+    """``tea-repro query``: analytics over the columnar trace store."""
+    from repro.core.states import CommitState
+    from repro.experiments.runner import format_table
+    from repro.trace import diff_attribution
+    from repro.trace.query import parse_states
+
+    try:
+        states = parse_states(args.state)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.window is not None and not args.window_cycles:
+        raise SystemExit("--window needs --window-cycles")
+
+    run_store = None if args.no_store else RunStore(args.store)
+    run_log = None
+    if run_store is not None and not args.no_run_log:
+        log_path = args.run_log or (
+            run_store.root / DEFAULT_RUN_LOG_NAME
+        )
+        run_log = RunLog(log_path)
+
+    spec = _query_spec(args.workload, args)
+    query = _query_for(spec, args, run_store, run_log)
+    try:
+        return _run_query(args, spec, query, states, run_store,
+                          run_log, diff_attribution, format_table,
+                          CommitState)
+    finally:
+        query.store.close()
+        if run_log is not None:
+            run_log.close()
+
+
+def _run_query(args, spec, query, states, run_store, run_log,
+               diff_attribution, format_table, CommitState) -> int:
+    what = args.what
+    if what == "summary":
+        state_cycles = query.state_cycles()
+        total = query.total_cycles()
+        doc = {
+            "workload": spec.workload,
+            "label": spec.label(),
+            "spec_key": spec.key,
+            "cycles": total,
+            "states": {
+                state.name.lower(): cycles
+                for state, cycles in state_cycles.items()
+            },
+            "rows": query.store.row_counts(),
+            "samplers": query.store.sampler_names(),
+        }
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"{spec.label()}: {total:,} cycles (key {spec.key[:12]})")
+        print(
+            "states: "
+            + ", ".join(
+                f"{state.name.lower()} {cycles:,} "
+                f"({cycles / total:.1%})" if total else "0"
+                for state, cycles in state_cycles.items()
+            )
+        )
+        rows = doc["rows"]
+        print(
+            "store rows: "
+            + ", ".join(f"{k} {v:,}" for k, v in rows.items())
+            + f"; samplers: {', '.join(doc['samplers']) or 'none'}"
+        )
+        return 0
+
+    group_by = "instruction" if args.by == "auto" else args.by
+    if what == "top":
+        ranked = query.top(
+            k=args.k,
+            states=states,
+            by=group_by,
+            window=args.window,
+            window_cycles=args.window_cycles,
+        )
+        scope = args.state
+        where = (
+            f" in window {args.window} "
+            f"(cycles [{args.window * args.window_cycles}, "
+            f"{(args.window + 1) * args.window_cycles}))"
+            if args.window is not None
+            else ""
+        )
+        if args.json:
+            print(json.dumps({
+                "workload": spec.workload,
+                "what": "top",
+                "state": scope,
+                "by": group_by,
+                "window": args.window,
+                "rows": [
+                    {
+                        "key": key,
+                        "label": query.label(key, group_by),
+                        "cycles": round(cycles, 3),
+                    }
+                    for key, cycles in ranked
+                ],
+            }, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{spec.label()}: top {len(ranked)} {group_by}(s) "
+            f"by {scope} cycles{where}"
+        )
+        print(format_table(
+            [group_by, "cycles"],
+            [
+                [query.label(key, group_by), f"{cycles:,.1f}"]
+                for key, cycles in ranked
+            ],
+        ))
+        return 0
+
+    if what == "flush-hist":
+        hist = query.flush_histogram(per=group_by)
+        ranked = sorted(
+            hist.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        if args.json:
+            print(json.dumps({
+                "workload": spec.workload,
+                "what": "flush-hist",
+                "by": group_by,
+                "rows": [
+                    {
+                        "key": group,
+                        "label": query.label(group, group_by),
+                        "cause": cause,
+                        "cycles": cycles,
+                    }
+                    for (group, cause), cycles in ranked
+                ],
+            }, indent=2, sort_keys=True))
+            return 0
+        flushed = sum(hist.values())
+        print(
+            f"{spec.label()}: flush-cause histogram per {group_by} "
+            f"({flushed:,} flushed cycle(s))"
+        )
+        if not ranked:
+            print("(no flushed cycles in this run)")
+            return 0
+        print(format_table(
+            [group_by, "cause", "cycles"],
+            [
+                [query.label(group, group_by), cause, f"{cycles:,}"]
+                for (group, cause), cycles in ranked[: args.k]
+            ],
+        ))
+        return 0
+
+    # what == "diff"
+    if not args.baseline:
+        raise SystemExit("--what diff needs --baseline <workload-spec>")
+    base_spec = _query_spec(args.baseline, args)
+    base_query = _query_for(base_spec, args, run_store, run_log)
+    try:
+        report = diff_attribution(
+            base_query,
+            query,
+            by=None if args.by == "auto" else args.by,
+            states=states,
+            threshold=args.threshold,
+            k=args.k,
+        )
+    finally:
+        base_query.store.close()
+    if args.json:
+        doc = report.to_json()
+        doc["baseline"] = base_spec.label()
+        doc["workload"] = spec.label()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if report.flagged and args.fail_on_regression else 0
+    print(
+        f"diff vs {base_spec.label()} (by {report.by}, "
+        f"threshold {report.threshold:.0%} share growth, "
+        f"{report.before_total:,.0f} -> {report.after_total:,.0f} "
+        f"attributed cycles)"
+    )
+    print(format_table(
+        [report.by, "before", "after", "Δshare", ""],
+        [
+            [
+                row.label,
+                f"{row.before_share:.1%}",
+                f"{row.after_share:.1%}",
+                f"{row.delta_share:+.1%}",
+                "REGRESSION" if row.regression else "",
+            ]
+            for row in report.rows
+        ],
+    ))
+    if report.flagged:
+        print(
+            f"{len(report.regressions)} regression(s) above "
+            f"{report.threshold:.0%}"
+        )
+        if args.fail_on_regression:
+            return 1
     return 0
 
 
@@ -875,6 +1122,65 @@ def main(argv: list[str] | None = None) -> int:
     )
     diff_parser.add_argument("--top", type=int, default=10)
 
+    query_parser = sub.add_parser(
+        "query",
+        help="analytics over a run's columnar trace store "
+        "(capture once, query many)",
+    )
+    query_parser.add_argument(
+        "workload", help="workload spec, e.g. mcf or lbm:unroll=4"
+    )
+    query_parser.add_argument(
+        "--what", default="top",
+        choices=["summary", "top", "flush-hist", "diff"],
+        help="query to run (default: top)",
+    )
+    query_parser.add_argument(
+        "--state", default="total",
+        choices=["compute", "stalled", "drained", "flushed", "total"],
+        help="commit-state slice to attribute (default: total)",
+    )
+    query_parser.add_argument(
+        "--by", default="auto",
+        choices=["instruction", "bb", "function", "auto"],
+        help="grouping granularity (default auto: instruction, "
+        "except for diffs of differently-shaped programs, which "
+        "fall back to function alignment)",
+    )
+    query_parser.add_argument(
+        "-k", "--top", dest="k", type=int, default=5,
+        help="rows to show (default 5)",
+    )
+    query_parser.add_argument(
+        "--window", type=int, default=None, metavar="X",
+        help="restrict to window index X (needs --window-cycles)",
+    )
+    query_parser.add_argument(
+        "--window-cycles", type=int, default=None, metavar="N",
+        help="window length in cycles",
+    )
+    query_parser.add_argument(
+        "--baseline", default=None, metavar="SPEC",
+        help="baseline workload spec for --what diff",
+    )
+    query_parser.add_argument(
+        "--threshold", type=float, default=0.02,
+        help="share growth that flags a diff regression "
+        "(default 0.02)",
+    )
+    query_parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when the diff flags a regression",
+    )
+    query_parser.add_argument(
+        "--refresh", action="store_true",
+        help="recapture even when a valid trace sidecar exists",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON",
+    )
+
     figures_parser = sub.add_parser(
         "figures", help="render all paper figures as SVG"
     )
@@ -1066,6 +1372,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_advise(args)
     if args.command == "diff":
         return cmd_diff(args)
+    if args.command == "query":
+        return cmd_query(args)
     if args.command == "stats":
         return cmd_stats(args)
     if args.command == "lint":

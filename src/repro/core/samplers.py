@@ -112,7 +112,18 @@ class Sampler:
         raise NotImplementedError
 
     def finish(self, core: "Core") -> None:
-        """Called when the run completes; default: nothing to do."""
+        """Called when the run completes; flushes a batched sink.
+
+        Sinks that buffer captures (e.g. :class:`repro.trace.store.
+        ColumnSampleSink`'s SoA batch path) expose ``flush()``; plain
+        per-event sinks (:class:`repro.trace.SampleWriter` delegates to
+        the file object's own buffering) simply have nothing to drain.
+        """
+        sink = self.sink
+        if sink is not None:
+            flush = getattr(sink, "flush", None)
+            if flush is not None:
+                flush()
 
     # ------------------------------------------------------------------
     # Capture.

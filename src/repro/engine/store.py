@@ -32,6 +32,9 @@ STORE_VERSION = 1
 #: Environment variable overriding the default store root.
 STORE_ENV = "TEA_REPRO_STORE"
 
+#: Schema identifier stamped into every trace sidecar's meta block.
+TRACE_SCHEMA = "tea-trace-v1"
+
 
 def default_store_root() -> Path:
     """The default store root (env override or ``~/.cache/tea-repro``)."""
@@ -111,6 +114,76 @@ class RunStore:
                 pass
             raise
         return path
+
+    # -- columnar trace sidecars ---------------------------------------
+    def trace_path_for(self, spec: RunSpec) -> Path:
+        """The sidecar path a spec's columnar trace lives at.
+
+        Traces sit next to the payload (same shard, same key) with a
+        ``.teacol`` suffix, so :meth:`clear` and key-based tooling see
+        both artefacts of a run together.
+        """
+        return self.runs_dir / spec.key[:2] / f"{spec.key}.teacol"
+
+    def has_trace(self, spec: RunSpec) -> bool:
+        """Cheap existence probe for a spec's trace sidecar."""
+        return self.trace_path_for(spec).is_file()
+
+    def save_trace(self, spec: RunSpec, store: Any) -> Path:
+        """Atomically persist a :class:`~repro.trace.store.TraceStore`.
+
+        Stamps ``meta`` with the schema/version/key triple
+        :meth:`load_trace` validates against.
+        """
+        store.meta.update(
+            {
+                "schema": TRACE_SCHEMA,
+                "model_version": MODEL_VERSION,
+                "spec_key": spec.key,
+            }
+        )
+        path = self.trace_path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".teacol"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(store.to_bytes())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_trace(self, spec: RunSpec, use_mmap: bool = True):
+        """The stored trace for *spec*, or ``None`` on a miss.
+
+        Corrupt or stale sidecars (schema / model version / spec key
+        mismatch) count as misses, exactly like :meth:`load`.
+        """
+        from repro.trace.store import TraceStore
+
+        path = self.trace_path_for(spec)
+        try:
+            store = TraceStore.load(path, use_mmap=use_mmap)
+        except (OSError, ValueError, RuntimeError):
+            self.misses += 1
+            return None
+        meta = store.meta
+        if (
+            meta.get("schema") != TRACE_SCHEMA
+            or meta.get("model_version") != MODEL_VERSION
+            or meta.get("spec_key") != spec.key
+        ):
+            store.close()
+            self.misses += 1
+            return None
+        self.hits += 1
+        return store
 
     def keys(self) -> Iterator[str]:
         """Keys of every stored run."""

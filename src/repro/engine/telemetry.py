@@ -158,6 +158,39 @@ class RunLog:
         doc.update(report.to_json())
         self._write_line(json.dumps(doc, sort_keys=True))
 
+    def record_trace(
+        self,
+        spec: Any,
+        store: Any,
+        cached: bool,
+        wall_s: float = 0.0,
+    ) -> None:
+        """Append one columnar-trace record as a JSON line.
+
+        Args:
+            spec: The :class:`~repro.engine.spec.RunSpec` traced.
+            store: The :class:`~repro.trace.store.TraceStore` captured
+                or loaded; its row counts are recorded.
+            cached: True when the trace came from the sidecar (no new
+                simulation), false for a fresh capture.
+            wall_s: Wall-clock seconds the capture cost (0 for hits).
+        """
+        self._write_line(
+            json.dumps(
+                {
+                    "kind": "trace",
+                    "workload": spec.workload,
+                    "spec_key": spec.key,
+                    "cached": bool(cached),
+                    "wall_s": round(float(wall_s), 6),
+                    "cycles": int(store.meta.get("cycles", 0)),
+                    "rows": store.row_counts(),
+                    "timestamp": time.time(),
+                },
+                sort_keys=True,
+            )
+        )
+
     def record_obs(
         self,
         events: list[dict[str, Any]],
@@ -224,6 +257,7 @@ def aggregate_records(
     records = list(records)
     runs = [r for r in records if r.get("kind") is None]
     suites = [r for r in records if r.get("kind") == "suite"]
+    traces = [r for r in records if r.get("kind") == "trace"]
     span_count = sum(1 for r in records if r.get("kind") == "span")
     counter_count = sum(
         1 for r in records if r.get("kind") == "counters"
@@ -326,6 +360,22 @@ def aggregate_records(
             ),
         },
         "obs": {"spans": span_count, "counters": counter_count},
+        "traces": {
+            "captures": sum(1 for r in traces if not r.get("cached")),
+            "loads": sum(1 for r in traces if r.get("cached")),
+            "capture_wall_s": round(
+                sum(
+                    float(r.get("wall_s", 0.0))
+                    for r in traces
+                    if not r.get("cached")
+                ),
+                6,
+            ),
+            "rows": sum(
+                sum(int(n) for n in r.get("rows", {}).values())
+                for r in traces
+            ),
+        },
     }
     return doc
 
@@ -346,8 +396,11 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     suites = [r for r in records if r.get("kind") == "suite"]
     runs = agg["runs"]
     obs_counts = agg["obs"]
+    trace_counts = agg["traces"]
     have_obs = obs_counts["spans"] or obs_counts["counters"]
-    if not runs["total"] and not suites and not have_obs:
+    have_traces = trace_counts["captures"] or trace_counts["loads"]
+    if not runs["total"] and not suites and not have_obs \
+            and not have_traces:
         return "run log: empty (no engine runs recorded yet)"
     if not runs["total"]:
         lines = []
@@ -355,6 +408,8 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
             lines.append(_summarize_suites(suites))
         if have_obs:
             lines.append(_summarize_obs(obs_counts))
+        if have_traces:
+            lines.append(_summarize_traces(trace_counts))
         return "\n".join(lines)
 
     by_source = runs["by_source"]
@@ -406,7 +461,20 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     if have_obs:
         lines.append("")
         lines.append(_summarize_obs(obs_counts))
+    if have_traces:
+        lines.append("")
+        lines.append(_summarize_traces(trace_counts))
     return "\n".join(lines)
+
+
+def _summarize_traces(trace_counts: Mapping[str, Any]) -> str:
+    """One-line summary of the columnar-trace records in the log."""
+    return (
+        f"traces: {trace_counts['captures']} capture(s) "
+        f"({trace_counts['capture_wall_s']:.2f}s wall), "
+        f"{trace_counts['loads']} sidecar load(s), "
+        f"{trace_counts['rows']:,} column row(s)"
+    )
 
 
 def _summarize_obs(obs_counts: Mapping[str, int]) -> str:

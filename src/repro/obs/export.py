@@ -29,6 +29,11 @@ from repro.obs.spans import COLLECTOR
 _KNOWN_PHASES = {"X", "C", "i", "I", "B", "E", "M"}
 
 
+def _is_number(value: Any) -> bool:
+    """A real JSON number -- bool is an int subclass and must not pass."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def chrome_trace_doc(
     events: list[dict[str, Any]] | None = None,
     normalize: bool = True,
@@ -45,15 +50,20 @@ def chrome_trace_doc(
         events = COLLECTOR.snapshot()
     events = [dict(event) for event in events]
     if normalize:
+        # ts == 0 events take part in the base: excluding them while
+        # still rebasing them used to push them to ts = -base, which
+        # validate_chrome_trace rejects. The max(..., 0) clamp keeps
+        # the invariant even for hand-built event lists that already
+        # mix negative or missing stamps.
         stamps = [
             event["ts"]
             for event in events
-            if event.get("ph") != "M" and event.get("ts", 0) > 0
+            if event.get("ph") != "M" and "ts" in event
         ]
         base = min(stamps) if stamps else 0
         for event in events:
             if event.get("ph") != "M":
-                event["ts"] = event.get("ts", base) - base
+                event["ts"] = max(event.get("ts", base) - base, 0)
     pids = sorted(
         {event["pid"] for event in events if "pid" in event}
     )
@@ -118,15 +128,15 @@ def validate_chrome_trace(doc: Any) -> list[str]:
         if phase not in _KNOWN_PHASES:
             problems.append(f"{where}: unknown phase {phase!r}")
         ts = event.get("ts")
-        if not isinstance(ts, (int, float)) or ts < 0:
+        if not _is_number(ts) or ts < 0:
             problems.append(f"{where}: bad 'ts' {ts!r}")
         for field in ("pid", "tid"):
             value = event.get(field)
-            if not isinstance(value, int):
+            if not isinstance(value, int) or isinstance(value, bool):
                 problems.append(f"{where}: bad '{field}' {value!r}")
         if phase == "X":
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or dur < 0:
+            if not _is_number(dur) or dur < 0:
                 problems.append(f"{where}: bad 'dur' {dur!r}")
         if "args" in event and not isinstance(event["args"], dict):
             problems.append(f"{where}: 'args' is not an object")

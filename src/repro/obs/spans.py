@@ -226,12 +226,20 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        # A disable() between __enter__ and __exit__ (test teardown,
+        # mid-run reconfiguration) must not leak a late event into the
+        # collector.
+        if not _ENABLED:
+            return False
         end = now_us()
         if exc_type is not None:
             self.args = dict(self.args or {})
             self.args["error"] = exc_type.__name__
+        # The wall clock can step backwards (NTP); a negative dur
+        # fails validate_chrome_trace, so clamp at zero.
         COLLECTOR.add_complete(
-            self.name, self._start, end - self._start, self.args or None
+            self.name, self._start, max(end - self._start, 0),
+            self.args or None,
         )
         return False
 

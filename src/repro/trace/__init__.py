@@ -1,11 +1,21 @@
-"""Sample collection plane: binary sample logs and offline PICS rebuild.
+"""Trace plane: sample logs, cycle traces, and the columnar query tier.
 
 In the paper, the sampling interrupt handler writes each TEA sample
 (timestamp, flags, instruction address(es), PSV(s) -- 88 bytes) to a
 memory buffer that is flushed to a file; a post-processing tool turns the
-file into PICS. This package is that path: attach a
-:class:`SampleWriter` as a sampler's ``sink`` to log captures, then
-rebuild the profile offline with :func:`read_profile`.
+file into PICS. This package is that path, three layers deep:
+
+* :mod:`repro.trace.samples` -- binary per-sample logs
+  (:class:`SampleWriter` as a sampler ``sink``) and offline PICS
+  rebuild (:func:`read_profile`);
+* :mod:`repro.trace.cycletrace` -- TraceDoctor-style cycle traces and
+  the offline golden-attribution replay (:func:`replay_golden`);
+* :mod:`repro.trace.store` / :mod:`repro.trace.query` /
+  :mod:`repro.trace.capture` -- the columnar (structure-of-arrays)
+  trace database: mmap-able :class:`TraceStore` files keyed by
+  :class:`~repro.engine.spec.RunSpec` hash, queried by
+  :class:`TraceQuery` (golden attribution, group-by, top-k, flush
+  histograms, cross-run diff) and surfaced as ``tea-repro query``.
 """
 
 from repro.trace.samples import (
@@ -21,6 +31,26 @@ from repro.trace.cycletrace import (
     read_trace,
     replay_golden,
 )
+from repro.trace.store import (
+    ColumnSampleSink,
+    ColumnTable,
+    StringPool,
+    TraceStore,
+)
+from repro.trace.query import (
+    DiffReport,
+    DiffRow,
+    TraceQuery,
+    diff_attribution,
+    flush_cause,
+    group_attribution,
+    top_k,
+)
+from repro.trace.capture import (
+    TraceBackendError,
+    capture_run,
+    ensure_trace,
+)
 
 __all__ = [
     "SampleReader",
@@ -32,4 +62,18 @@ __all__ = [
     "CyclesRecord",
     "read_trace",
     "replay_golden",
+    "ColumnSampleSink",
+    "ColumnTable",
+    "StringPool",
+    "TraceStore",
+    "DiffReport",
+    "DiffRow",
+    "TraceQuery",
+    "diff_attribution",
+    "flush_cause",
+    "group_attribution",
+    "top_k",
+    "TraceBackendError",
+    "capture_run",
+    "ensure_trace",
 ]

@@ -1721,10 +1721,12 @@ def simulate(
     max_cycles: int = 500_000_000,
     fast_forward: bool = True,
     reference_loop: bool = False,
+    cycle_trace=None,
 ) -> CoreResult:
     """Convenience wrapper: build a :class:`Core` and run it."""
     core = Core(
         program, config, samplers, arch_state,
         fast_forward=fast_forward, reference_loop=reference_loop,
+        cycle_trace=cycle_trace,
     )
     return core.run(max_cycles)

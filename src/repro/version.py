@@ -82,7 +82,7 @@ SEMANTIC_HASHES = {
     "src/repro/core/events.py":
         "555e8d6b791c196523bf110921478b1cf34e8b8737cff926f5a7a324135d0255",
     "src/repro/core/samplers.py":
-        "d6e22c5c564844690385285806bfe4413addafea905bd480b84d15ec55e0f121",
+        "a8ff11cc77d071770c55205a147d8257b115fa66a6bb6546db0f33647cf125b2",
     "src/repro/isa/interpreter.py":
         "e04c73de307cb31d15aead2e97a7a17c081828d5dbfa1937c4a892f0aed73c26",
     "src/repro/isa/semantics.py":
@@ -96,7 +96,7 @@ SEMANTIC_HASHES = {
     "src/repro/memory/tlb.py":
         "6e799416dcd20a2c0efd72914ac75ae599d63a83984b0afc4256bf348662e338",
     "src/repro/uarch/core.py":
-        "754fe49d8a7cba94b825b4f768c9dd14d14e3e69d70c3521b6de23208d8c1aaa",
+        "dc8368c17c9ae85928d49e9f494b843e347a1777f1d76238c991829b0ab7b4d4",
     "src/repro/uarch/uop.py":
         "b9f8e405d1b673cc594b23b967b988527218143e6636d802c5717fc9a0d27a63",
 }

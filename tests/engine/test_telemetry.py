@@ -316,6 +316,14 @@ _GOLDEN_RECORDS = [
      "pid": 1, "tid": 1},
     {"kind": "counters", "name": "rates", "ph": "C", "ts": 0,
      "pid": 1, "tid": 0, "args": {"x": 1}},
+    {"kind": "trace", "workload": "lbm", "spec_key": "ab" * 32,
+     "cached": False, "wall_s": 0.25, "cycles": 100_000,
+     "rows": {"ctrace": 900, "commit_uops": 800, "samples": 100,
+              "spans": 0}},
+    {"kind": "trace", "workload": "lbm", "spec_key": "ab" * 32,
+     "cached": True, "wall_s": 0.0, "cycles": 100_000,
+     "rows": {"ctrace": 900, "commit_uops": 800, "samples": 100,
+              "spans": 0}},
 ]
 
 
@@ -390,7 +398,11 @@ def test_summary_text_with_mixed_kind_records():
 
 
 def test_summary_of_obs_only_log():
-    text = summarize_records([_GOLDEN_RECORDS[-2], _GOLDEN_RECORDS[-1]])
+    obs_only = [
+        r for r in _GOLDEN_RECORDS
+        if r.get("kind") in ("span", "counters")
+    ]
+    text = summarize_records(obs_only)
     assert "obs: 1 span record(s), 1 counter record(s)" in text
     assert "run(s) --" not in text
 

@@ -28,6 +28,54 @@ def test_doc_normalizes_timestamps_and_names_processes():
     assert any(e["name"] == "process_name" for e in metas)
 
 
+def test_doc_normalize_keeps_ts_zero_events_in_base():
+    """Regression: a non-metadata event stamped ts=0 (e.g. an early
+    instant) used to be skipped when picking the rebase origin but
+    still got rebased, landing at a negative timestamp the validator
+    rejects. ts=0 events now anchor the base."""
+    events = [
+        {"name": "early", "ph": "i", "s": "p", "ts": 0, "pid": 1,
+         "tid": 1},
+        {"name": "work", "ph": "X", "ts": 1000, "dur": 10, "pid": 1,
+         "tid": 1},
+    ]
+    doc = chrome_trace_doc(events)
+    assert validate_chrome_trace(doc) == []
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert by_name["early"]["ts"] == 0
+    assert by_name["work"]["ts"] == 1000  # relative spacing preserved
+
+
+def test_doc_normalize_clamps_negative_timestamps():
+    events = [
+        {"name": "skewed", "ph": "i", "s": "p", "ts": -5, "pid": 1,
+         "tid": 1},
+        {"name": "work", "ph": "X", "ts": 40, "dur": 1, "pid": 1,
+         "tid": 1},
+    ]
+    doc = chrome_trace_doc(events)
+    assert validate_chrome_trace(doc) == []
+    spans = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert min(e["ts"] for e in spans) == 0
+
+
+def test_validate_rejects_bool_fields():
+    """bool is an int subclass; True must not pass as pid/tid/ts/dur."""
+    doc = {
+        "traceEvents": [
+            {
+                "name": "sneaky", "ph": "X", "ts": True, "dur": False,
+                "pid": True, "tid": False,
+            }
+        ]
+    }
+    problems = validate_chrome_trace(doc)
+    assert any("bad 'ts' True" in p for p in problems)
+    assert any("bad 'dur' False" in p for p in problems)
+    assert any("bad 'pid' True" in p for p in problems)
+    assert any("bad 'tid' False" in p for p in problems)
+
+
 def test_doc_leaves_collector_events_unmutated():
     obs.enable()
     with obs.span("a"):

@@ -50,6 +50,32 @@ def test_span_records_error_on_exception():
     assert event["args"]["error"] == "RuntimeError"
 
 
+def test_disable_mid_span_does_not_leak_event():
+    """Regression: disable() between __enter__ and __exit__ (test
+    teardown, mid-run reconfiguration) used to let the exit path emit
+    a late event into the supposedly-quiesced collector."""
+    obs.enable()
+    span = obs.span("straddler")
+    with span:
+        obs.disable()
+    assert len(obs.COLLECTOR) == 0
+
+
+def test_span_duration_clamped_on_clock_step(monkeypatch):
+    """Regression: a backwards wall-clock step (NTP) made dur
+    negative, which validate_chrome_trace rejects. Clamp at zero."""
+    from repro.obs import spans as spans_mod
+
+    obs.enable()
+    stamps = iter([5_000_000, 4_000_000])  # clock steps back 1s
+    monkeypatch.setattr(spans_mod, "now_us", lambda: next(stamps))
+    with obs.span("ntp"):
+        pass
+    event = obs.COLLECTOR.snapshot()[0]
+    assert event["dur"] == 0
+    assert event["ts"] == 5_000_000
+
+
 def test_traced_decorator_gates_at_call_time():
     calls = []
 

@@ -1,0 +1,376 @@
+"""Columnar store: SoA round trips, ingestion parity, format guards.
+
+The store must be a lossless, bit-faithful database over the three
+trace planes -- the cycle/commit stream, sampler captures, and obs
+span events -- across every shape it can take: live in-memory tables,
+serialised bytes, and zero-copy mmap views.
+"""
+
+import json
+import random
+import struct
+from array import array
+
+import pytest
+
+from repro.core.samplers import make_sampler
+from repro.core.states import CommitState
+from repro.trace.cycletrace import (
+    CommitRecord,
+    CyclesRecord,
+    CycleTrace,
+    replay_golden,
+)
+from repro.trace.store import (
+    KIND_COMMIT,
+    KIND_CYCLES,
+    MAGIC,
+    SAMPLE_COLUMNS,
+    ColumnSampleSink,
+    ColumnTable,
+    StringPool,
+    TraceStore,
+)
+from repro.uarch.core import simulate
+from repro.workloads import WORKLOAD_NAMES, build
+
+
+def run_with_store(program, arch_state=None, samplers=()):
+    store = TraceStore()
+    result = simulate(
+        program,
+        samplers=list(samplers),
+        arch_state=arch_state,
+        cycle_trace=store,
+    )
+    return result, store
+
+
+def populated_store(mixed_program):
+    """A store exercising all four tables plus meta and strings."""
+    sampler = make_sampler("TEA", 13, seed=7)
+    store = TraceStore()
+    sampler.sink = store.sampler_sink("TEA", batch=5)
+    simulate(mixed_program, samplers=[sampler], cycle_trace=store)
+    store.ingest_span_events(
+        [
+            {
+                "name": "run", "ph": "X", "cat": "span", "ts": 10,
+                "dur": 4, "pid": 1, "tid": 2, "args": {"k": "v"},
+            },
+            {"name": "tick", "ph": "i", "ts": 11, "pid": 1, "tid": 2,
+             "s": "p"},
+        ]
+    )
+    store.meta.update({"workload": "mixed", "cycles": 123})
+    return store
+
+
+# -- core hook ingestion -----------------------------------------------
+
+
+def test_store_records_match_cycletrace(mixed_program):
+    result_a, trace = run_cycletrace(mixed_program)
+    result_b, store = run_with_store(mixed_program)
+    assert result_b.cycles == result_a.cycles
+    assert store.cycle_records() == trace.records
+
+
+def run_cycletrace(program):
+    trace = CycleTrace()
+    result = simulate(program, cycle_trace=trace)
+    return result, trace
+
+
+@pytest.mark.parametrize("name", ["mcf", "x264", "gcc"])
+def test_replay_over_store_matches_golden(name):
+    wl = build(name, scale=0.05)
+    result, store = run_with_store(
+        wl.program, arch_state=wl.fresh_state()
+    )
+    replayed = replay_golden(store.cycle_records())
+    assert replayed == result.golden_raw
+    assert sum(replayed.values()) == pytest.approx(result.cycles)
+
+
+def test_ingest_cycle_records_round_trip(mixed_program):
+    _result, trace = run_cycletrace(mixed_program)
+    store = TraceStore()
+    store.ingest_cycle_records(trace.records)
+    assert store.cycle_records() == trace.records
+
+
+def test_cycle_column_is_prefix_sum(mixed_program):
+    _result, store = run_with_store(mixed_program)
+    cycles = store.ctrace.column("cycle")
+    counts = store.ctrace.column("count")
+    running = 0
+    for i in range(len(store.ctrace)):
+        assert cycles[i] == running
+        running += counts[i]
+
+
+def test_commit_rows_reference_uop_ranges(mixed_program):
+    _result, store = run_with_store(mixed_program)
+    kinds = store.ctrace.column("kind")
+    starts = store.ctrace.column("group_start")
+    sizes = store.ctrace.column("group_size")
+    next_start = 0
+    for i in range(len(store.ctrace)):
+        if kinds[i] == KIND_CYCLES:
+            assert sizes[i] == 0
+            continue
+        assert kinds[i] == KIND_COMMIT
+        assert starts[i] == next_start
+        assert sizes[i] >= 1
+        next_start = starts[i] + sizes[i]
+    assert next_start == len(store.commit_uops)
+
+
+# -- serialisation round trips -----------------------------------------
+
+
+def assert_stores_equal(a, b):
+    assert b.meta == a.meta
+    assert b.strings.to_list() == a.strings.to_list()
+    for name, table in a.tables.items():
+        other = b.tables[name]
+        assert len(other) == len(table)
+        for cname, _code in table.schema:
+            assert bytes(other.column(cname)) == bytes(
+                table.column(cname)
+            )
+
+
+def test_bytes_round_trip(mixed_program):
+    store = populated_store(mixed_program)
+    data = store.to_bytes()
+    loaded = TraceStore.from_bytes(data)
+    assert_stores_equal(store, loaded)
+    assert loaded.cycle_records() == store.cycle_records()
+    assert loaded.raw_profile("TEA") == store.raw_profile("TEA")
+    # Re-serialisation is deterministic byte-for-byte.
+    assert loaded.to_bytes() == data
+
+
+def test_save_load_mmap_round_trip(mixed_program, tmp_path):
+    store = populated_store(mixed_program)
+    path = store.save(tmp_path / "deep" / "trace.teacol")
+    assert path.read_bytes().startswith(MAGIC)
+    with TraceStore.load(path) as loaded:
+        assert_stores_equal(store, loaded)
+        assert loaded.cycle_records() == store.cycle_records()
+        # mmap-backed columns are memoryview casts, not arrays.
+        assert not isinstance(loaded.ctrace.column("cycle"), array)
+    # close() dropped the views; the store is empty but usable.
+    assert len(loaded.ctrace) == 0
+    loaded.close()  # idempotent
+
+
+def test_load_without_mmap_gives_mutable_arrays(
+    mixed_program, tmp_path
+):
+    store = populated_store(mixed_program)
+    path = store.save(tmp_path / "trace.teacol")
+    loaded = TraceStore.load(path, use_mmap=False)
+    assert isinstance(loaded.ctrace.column("cycle"), array)
+    loaded.on_cycles(CommitState.STALLED, 3, 9)  # still writable
+    assert len(loaded.ctrace) == len(store.ctrace) + 1
+
+
+def test_random_records_round_trip():
+    rng = random.Random(42)
+    store = TraceStore()
+    records = []
+    seq = 0
+    for _ in range(200):
+        if rng.random() < 0.6:
+            state = rng.choice(
+                [
+                    CommitState.STALLED,
+                    CommitState.DRAINED,
+                    CommitState.FLUSHED,
+                ]
+            )
+            head = seq if state is CommitState.STALLED else -1
+            records.append(CyclesRecord(state, rng.randint(1, 50), head))
+        else:
+            uops = []
+            for _ in range(rng.randint(1, 4)):
+                uops.append((seq, rng.randrange(64), rng.randrange(256)))
+                seq += 1
+            records.append(CommitRecord(uops))
+    store.ingest_cycle_records(records)
+    assert store.cycle_records() == records
+    reloaded = TraceStore.from_bytes(store.to_bytes())
+    assert reloaded.cycle_records() == records
+
+
+# -- corrupt inputs -----------------------------------------------------
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ValueError, match="not a TEACOL"):
+        TraceStore.from_bytes(b"GARBAGE!" + b"\0" * 64)
+
+
+def test_truncated_file_rejected(mixed_program):
+    data = populated_store(mixed_program).to_bytes()
+    with pytest.raises(ValueError, match="truncated TEACOL"):
+        TraceStore.from_bytes(data[:-4])
+
+
+def test_corrupt_header_rejected(mixed_program):
+    data = bytearray(populated_store(mixed_program).to_bytes())
+    start = len(MAGIC) + 4
+    data[start] = ord("!")  # header JSON no longer parses
+    with pytest.raises(ValueError, match="corrupt TEACOL header"):
+        TraceStore.from_bytes(bytes(data))
+
+
+def test_unsupported_format_rejected(mixed_program):
+    data = populated_store(mixed_program).to_bytes()
+    header_len = struct.unpack_from("<I", data, len(MAGIC))[0]
+    body = len(MAGIC) + 4
+    doc = json.loads(data[body: body + header_len])
+    doc["format"] = 999
+    encoded = json.dumps(doc, sort_keys=True).encode("utf-8")
+    patched = (
+        data[: len(MAGIC)]
+        + struct.pack("<I", len(encoded))
+        + encoded
+        + data[body + header_len:]
+    )
+    with pytest.raises(ValueError, match="unsupported TEACOL format"):
+        TraceStore.from_bytes(patched)
+
+
+def test_missing_table_rejected():
+    # A store with empty meta: the only '"spans"' in the file is the
+    # table key in the header, so a same-length rename removes the
+    # table without shifting any offset.
+    data = TraceStore().to_bytes()
+    patched = data.replace(b'"spans"', b'"spanz"', 1)
+    with pytest.raises(ValueError, match="missing table 'spans'"):
+        TraceStore.from_bytes(patched)
+
+
+# -- string pool and column table --------------------------------------
+
+
+def test_string_pool_semantics():
+    pool = StringPool()
+    assert pool[0] == "" and len(pool) == 1
+    a = pool.intern("alpha")
+    assert pool.intern("alpha") == a  # idempotent
+    b = pool.intern("beta")
+    assert a != b and pool[b] == "beta"
+    assert pool.to_list() == ["", "alpha", "beta"]
+    with pytest.raises(ValueError, match="id 0"):
+        StringPool(["alpha"])
+
+
+def test_column_table_append_arity():
+    table = ColumnTable("samples", SAMPLE_COLUMNS)
+    with pytest.raises(ValueError, match="expected 4 values"):
+        table.append(1, 2, 3)
+
+
+def test_column_table_extend_validation():
+    table = ColumnTable("samples", SAMPLE_COLUMNS)
+    with pytest.raises(ValueError, match="exactly columns"):
+        table.extend(sampler=[1], index=[2])
+    with pytest.raises(ValueError, match="ragged"):
+        table.extend(
+            sampler=[1], index=[2, 3], psv=[4], weight=[1.0]
+        )
+    table.extend(sampler=[1], index=[2], psv=[4], weight=[1.0])
+    assert table.row(0) == (1, 2, 4, 1.0)
+    assert list(table.rows()) == [(1, 2, 4, 1.0)]
+
+
+# -- sampler sink -------------------------------------------------------
+
+
+def test_sink_rejects_nonpositive_batch():
+    with pytest.raises(ValueError, match="batch must be positive"):
+        ColumnSampleSink(TraceStore(), "TEA", batch=0)
+
+
+def test_sink_flushes_tail_on_close():
+    store = TraceStore()
+    sink = store.sampler_sink("TEA", batch=100)
+    sink.write(3, 1, 0.5)
+    sink.write(4, 2, 1.5)
+    assert len(store.samples) == 0  # still buffered
+    sink.close()
+    assert len(store.samples) == 2
+    assert sink.records_written == 2
+    sink.close()  # idempotent, no double rows
+    assert len(store.samples) == 2
+
+
+def samples_bytes(store):
+    return b"".join(
+        bytes(store.samples.column(cname))
+        for cname, _code in SAMPLE_COLUMNS
+    )
+
+
+def capture_with_batch(name, scale, batch):
+    wl = build(name, scale=scale)
+    sampler = make_sampler("TEA", 29, seed=3)
+    store = TraceStore()
+    sampler.sink = store.sampler_sink("TEA", batch=batch)
+    simulate(
+        wl.program,
+        samplers=[sampler],
+        arch_state=wl.fresh_state(),
+    )
+    return sampler, store
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_batch_path_bit_identical_to_per_event(name):
+    """batch=1 (per-event) and a non-divisor batch yield the same
+    samples table byte-for-byte, and the rebuilt profile matches the
+    live sampler's accumulation bit-for-bit, on all 15 workloads."""
+    sampler_a, per_event = capture_with_batch(name, 0.03, batch=1)
+    sampler_b, batched = capture_with_batch(name, 0.03, batch=7)
+    assert samples_bytes(batched) == samples_bytes(per_event)
+    assert sampler_b.raw == sampler_a.raw
+    rebuilt = batched.raw_profile("TEA")
+    assert rebuilt == sampler_b.raw
+    assert list(rebuilt.items()) == list(sampler_b.raw.items())
+
+
+# -- span ingestion -----------------------------------------------------
+
+
+def test_span_events_round_trip():
+    events = [
+        {
+            "name": "simulate", "ph": "X", "cat": "span", "ts": 1000,
+            "dur": 250, "pid": 7, "tid": 8,
+            "args": {"workload": "mcf", "n": 3},
+        },
+        {"name": "tick", "ph": "i", "s": "p", "cat": "span",
+         "ts": 1100, "pid": 7, "tid": 8},
+        {"name": "rates", "ph": "C", "cat": "counter", "ts": 1200,
+         "pid": 7, "tid": 0, "args": {"l1d": 0.875}},
+        {"name": "thread_name", "ph": "M", "ts": 0, "pid": 7,
+         "tid": 8, "args": {"name": "stage:commit"}},
+    ]
+    store = TraceStore()
+    assert store.ingest_span_events(events) == 4
+    assert store.span_events() == events
+    reloaded = TraceStore.from_bytes(store.to_bytes())
+    assert reloaded.span_events() == events
+
+
+def test_row_counts_cover_all_tables(mixed_program):
+    store = populated_store(mixed_program)
+    counts = store.row_counts()
+    assert set(counts) == {"ctrace", "commit_uops", "samples", "spans"}
+    assert counts["spans"] == 2
+    assert counts["samples"] > 0
