@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.backends.base import ExecutionBackend
 from repro.core.pics import PicsProfile
 from repro.core.states import CommitState
@@ -121,12 +122,28 @@ def simulate_functional(
     counts = [0] * len(program)
     take = stream.take
     committed = 0
-    while True:
-        dyn = take()
-        if dyn is None:
-            break
-        counts[dyn.static.index] += 1
-        committed += 1
+    if obs.enabled():
+        # Instrumented twin of the loop below: same take/count order,
+        # plus a progress beat every PROGRESS_EVERY_INSTS committed
+        # instructions (counts only -- no clock reads here, TL003).
+        beat_mask = obs.PROGRESS_EVERY_INSTS - 1
+        while True:
+            dyn = take()
+            if dyn is None:
+                break
+            counts[dyn.static.index] += 1
+            committed += 1
+            if not committed & beat_mask:
+                obs.report_progress(
+                    program.name, "functional", committed, committed
+                )
+    else:
+        while True:
+            dyn = take()
+            if dyn is None:
+                break
+            counts[dyn.static.index] += 1
+            committed += 1
     exec_counts = {i: c for i, c in enumerate(counts) if c}
     golden_raw = {(i, 0): float(c) for i, c in exec_counts.items()}
     state_cycles = {state: 0 for state in CommitState}

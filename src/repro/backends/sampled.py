@@ -42,6 +42,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.backends.base import ExecutionBackend
 from repro.backends.warmup import warm_window_state
 from repro.branch.predictor import BranchPredictor
@@ -190,6 +191,7 @@ class SampledBackend(ExecutionBackend):
         stream = InstStream(program, arch_state, max_insts, history=history)
         pos = 0
         ff_total = 0
+        cycles_measured = 0
         windows: list[WindowResult] = []
         first = True
         while not stream.empty():
@@ -214,6 +216,13 @@ class SampledBackend(ExecutionBackend):
             pos += ff_insts
             ff_total += ff_insts
             windows.append(_snapshot_window(core, pos, committed, ff_insts))
+            if obs.enabled():
+                # Window-boundary heartbeat: counts only (measured
+                # cycles so far, stream position); observe-only.
+                cycles_measured += core.cycle
+                obs.report_progress(
+                    program.name, "sampled", cycles_measured, pos
+                )
         result = self._aggregate(program, samplers, windows, ff_total)
         result.arch_state = stream.state
         return result

@@ -200,6 +200,8 @@ def make_engine(args) -> Engine:
         timeout=args.timeout,
         backoff=args.backoff,
         keep_going=args.keep_going,
+        heartbeat=getattr(args, "heartbeat", None),
+        stall_after=getattr(args, "stall_after", None),
     )
 
 
@@ -347,7 +349,8 @@ def _finish_obs(args, engine: Engine | None = None) -> None:
 
     Appends the collected spans/counters to the engine run log (when
     one is attached), writes the Chrome trace file named by
-    ``--trace-out``, and closes the buffered run-log handle.
+    ``--trace-out`` and the Prometheus textfile named by
+    ``--metrics-out``, and closes the buffered run-log handle.
     """
     if engine is not None and engine.run_log is not None:
         if obs.enabled():
@@ -361,6 +364,64 @@ def _finish_obs(args, engine: Engine | None = None) -> None:
     if trace_out:
         count = obs.export_chrome_trace(trace_out)
         print(f"wrote {trace_out} ({count} trace event(s))")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        obs.hub().poll(obs.COUNTERS)
+        count = obs.expose_prometheus(metrics_out)
+        print(f"wrote {metrics_out} ({count} metric sample(s))")
+
+
+def cmd_monitor(args) -> int:
+    """``tea-repro monitor <run-log>``: live view over a run log.
+
+    Tails the JSONL incrementally (complete lines only, so a suite
+    writing concurrently never hands it a torn record) and redraws the
+    per-label status table until the suite record lands. ``--once``
+    renders the current state and exits; ``--json`` dumps the
+    machine-readable snapshot instead of the table.
+    """
+    from repro.engine import SuiteMonitor, render_monitor
+
+    path = str(args.run_log_path)
+    monitor = SuiteMonitor(stall_after=args.stall_after)
+    offset = monitor.feed_file(path)
+    if args.json:
+        print(json.dumps(monitor.snapshot(), indent=2, sort_keys=True))
+        return 0
+    if args.once:
+        print(render_monitor(monitor))
+        return 0
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            view = f"monitor: {path}\n" + render_monitor(monitor)
+            print(clear + view, flush=True)
+            if monitor.suite_done:
+                return 0
+            time.sleep(max(args.interval, 0.05))
+            offset = monitor.feed_file(path, offset)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_health(args) -> int:
+    """``tea-repro health <run-log> --slo FILE``: SLO gate over a log.
+
+    Exit status: 0 when every rule passes, 1 on any violation, 2 on a
+    malformed log path or rules file -- CI-friendly semantics.
+    """
+    from repro.engine import check_run_log
+
+    try:
+        report = check_run_log(args.run_log_path, args.slo)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -1045,6 +1106,29 @@ def main(argv: list[str] | None = None) -> int:
         help="enable observability and write a Chrome trace-event "
         "JSON (open in Perfetto or chrome://tracing)",
     )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="enable live telemetry: workers report progress at this "
+        "interval, heartbeat/resource records land in the run log as "
+        "they happen, and silently stalled workers are flagged "
+        "before their timeout",
+    )
+    parser.add_argument(
+        "--stall-after", type=float, default=None, metavar="SECONDS",
+        help="heartbeat silence before a running worker is flagged "
+        "stalled (default: four heartbeat intervals)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable observability and write a Prometheus textfile "
+        "of the collected counters/gauges/histograms at exit "
+        "(node-exporter textfile-collector format)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="enable observability and serve live /metrics on this "
+        "port for the duration of the command (0 = ephemeral)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in sorted(EXPERIMENTS) + ["all"]:
@@ -1200,7 +1284,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     stats_parser.add_argument(
         "--json", action="store_true",
-        help="emit the summary as machine-readable JSON",
+        help="emit the summary as machine-readable JSON "
+        "(tea-stats-v1 schema)",
+    )
+
+    monitor_parser = sub.add_parser(
+        "monitor",
+        help="live status table over a run log (tails heartbeats)",
+    )
+    monitor_parser.add_argument(
+        "run_log_path", metavar="run-log",
+        help="JSONL run log to tail (e.g. <store>/runs.jsonl)",
+    )
+    monitor_parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    monitor_parser.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit",
+    )
+    monitor_parser.add_argument(
+        "--json", action="store_true",
+        help="dump the machine-readable snapshot once and exit",
+    )
+    monitor_parser.add_argument(
+        "--stall-after", type=float, default=argparse.SUPPRESS,
+        metavar="SECONDS",
+        help="flag labels with no activity for this long as stalled "
+        "(default: trust the log's own stall records)",
+    )
+
+    health_parser = sub.add_parser(
+        "health",
+        help="check a run log against declarative SLO rules "
+        "(tea-slo-v1); non-zero exit on violation",
+    )
+    health_parser.add_argument(
+        "run_log_path", metavar="run-log",
+        help="JSONL run log to evaluate",
+    )
+    health_parser.add_argument(
+        "--slo", required=True, metavar="PATH",
+        help="tea-slo-v1 rules file (max_stall_s, min_cycles_per_sec, "
+        "max_retry_rate, max_rss_kb, max_failed_labels)",
+    )
+    health_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable health report",
     )
 
     lint_parser = sub.add_parser(
@@ -1363,9 +1494,39 @@ def main(argv: list[str] | None = None) -> int:
             "--resume needs the run store (drop --no-store)"
         )
 
-    if getattr(args, "trace_out", None):
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "metrics_port", None) is not None
+        or getattr(args, "heartbeat", None)
+    ):
         obs.enable()
 
+    metrics_server = None
+    if getattr(args, "metrics_port", None) is not None:
+        metrics_server = obs.MetricsServer(
+            port=args.metrics_port
+        ).start()
+        print(
+            f"serving /metrics on "
+            f"http://127.0.0.1:{metrics_server.port}/metrics",
+            file=sys.stderr,
+        )
+
+    try:
+        return _dispatch(args)
+    finally:
+        if metrics_server is not None:
+            obs.hub().poll(obs.COUNTERS)
+            metrics_server.stop()
+
+
+def _dispatch(args) -> int:
+    """Route the parsed arguments to their command."""
+    if args.command == "monitor":
+        return cmd_monitor(args)
+    if args.command == "health":
+        return cmd_health(args)
     if args.command == "profile":
         return cmd_profile(args)
     if args.command == "advise":

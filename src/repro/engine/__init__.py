@@ -8,7 +8,12 @@ out-of-band methodology) as a real architectural layer:
 * :mod:`repro.engine.store` -- the versioned on-disk
   :class:`RunStore` of completed runs;
 * :mod:`repro.engine.executor` -- parallel :class:`SuiteExecutor`
-  fan-out with retry and per-workload failure reporting;
+  fan-out with retry, per-workload failure reporting, and worker
+  heartbeats;
+* :mod:`repro.engine.monitor` -- the :class:`SuiteMonitor` live view
+  over heartbeat records (stall detection, progress rendering);
+* :mod:`repro.engine.health` -- declarative ``tea-slo-v1`` SLO rules
+  evaluated against a run log (:func:`evaluate_health`);
 * :mod:`repro.engine.telemetry` -- :class:`RunMetrics` records and the
   JSONL :class:`RunLog`;
 * :mod:`repro.engine.engine` -- the :class:`Engine` orchestrator
@@ -37,6 +42,19 @@ from repro.engine.executor import (
     simulate_to_payload,
 )
 from repro.engine.faults import FaultyWorker, InjectedFault
+from repro.engine.health import (
+    SLO_SCHEMA,
+    HealthReport,
+    check_run_log,
+    evaluate_health,
+    measure_health,
+    read_slo_file,
+)
+from repro.engine.monitor import (
+    LabelState,
+    SuiteMonitor,
+    render_monitor,
+)
 from repro.engine.runs import (
     PAYLOAD_SCHEMA,
     BenchmarkRun,
@@ -57,6 +75,7 @@ from repro.engine.spec import (
 from repro.engine.store import RunStore, default_store_root
 from repro.engine.telemetry import (
     DEFAULT_RUN_LOG_NAME,
+    STATS_SCHEMA,
     RunLog,
     RunMetrics,
     aggregate_records,
@@ -66,6 +85,7 @@ from repro.engine.telemetry import (
     summarize_records,
     summarize_records_json,
     summarize_run_log,
+    validate_stats_doc,
     write_bench_file,
 )
 
@@ -77,8 +97,10 @@ __all__ = [
     "DEFAULT_SCALE",
     "Engine",
     "FaultyWorker",
+    "HealthReport",
     "InjectedFault",
     "LabelOutcome",
+    "LabelState",
     "LoadedSampler",
     "MODEL_VERSION",
     "PAYLOAD_SCHEMA",
@@ -87,8 +109,11 @@ __all__ = [
     "RunMetrics",
     "RunSpec",
     "RunStore",
+    "SLO_SCHEMA",
+    "STATS_SCHEMA",
     "SuiteExecutionError",
     "SuiteExecutor",
+    "SuiteMonitor",
     "SuiteReport",
     "SuiteResult",
     "TECHNIQUES",
@@ -97,11 +122,16 @@ __all__ = [
     "backoff_delay",
     "build_workload",
     "canonical",
+    "check_run_log",
     "compare_bench",
     "default_store_root",
+    "evaluate_health",
     "format_report",
+    "measure_health",
     "read_bench_file",
     "read_run_log",
+    "read_slo_file",
+    "render_monitor",
     "run_from_payload",
     "run_suite",
     "run_to_payload",
@@ -111,5 +141,6 @@ __all__ = [
     "summarize_records",
     "summarize_records_json",
     "summarize_run_log",
+    "validate_stats_doc",
     "write_bench_file",
 ]

@@ -66,12 +66,21 @@ class Engine:
             :class:`SuiteReport` instead of raising on failures.
         worker_fn: Worker callable for suite execution; overridable
             for tests and fault injection.
+        heartbeat: Worker heartbeat interval in seconds; ``None``
+            disables live telemetry. When set, suite executions emit
+            ``"kind": "heartbeat"`` and ``"kind": "resources"``
+            records into the run log as they happen, and the parent
+            flags silently stalled workers before their timeout.
+        stall_after: Seconds of heartbeat silence before a running
+            label is flagged stalled (default: four heartbeats).
 
     Attributes:
         simulations: Number of fresh simulations this engine performed
             (both in-process and via workers).
         last_suite_report: The :class:`SuiteReport` of the most recent
             :meth:`run_suite` that had to execute anything.
+        last_monitor: The :class:`~repro.engine.monitor.SuiteMonitor`
+            of that execution (``None`` unless *heartbeat* is set).
     """
 
     def __init__(
@@ -86,6 +95,8 @@ class Engine:
         worker_fn: Callable[
             [tuple[str, RunSpec]], tuple[str, dict[str, Any]]
         ] = simulate_to_payload,
+        heartbeat: float | None = None,
+        stall_after: float | None = None,
     ) -> None:
         self.store = store
         self.run_log = run_log
@@ -95,8 +106,11 @@ class Engine:
         self.backoff = backoff
         self.keep_going = bool(keep_going)
         self.worker_fn = worker_fn
+        self.heartbeat = heartbeat
+        self.stall_after = stall_after
         self.simulations = 0
         self.last_suite_report: SuiteReport | None = None
+        self.last_monitor = None
         self._memo: dict[str, BenchmarkRun] = {}
 
     # ------------------------------------------------------------------
@@ -265,8 +279,12 @@ class Engine:
             backoff=self.backoff,
             keep_going=True,  # the engine applies its own policy
             on_result=flush,
+            heartbeat=self.heartbeat,
+            stall_after=self.stall_after,
+            on_event=self._live_event,
         )
         result = executor.execute(list(missing.items()))
+        self.last_monitor = executor.monitor
         for label, payload in result.payloads.items():
             spec = missing[label]
             run = self._memo[spec.key]
@@ -278,8 +296,19 @@ class Engine:
                 float(payload.get("wall_s") or 0.0),
                 jobs=jobs,
                 attempts=outcome.attempts if outcome else 1,
+                resources=outcome.resources if outcome else None,
             )
         return result.report
+
+    def _live_event(self, record: dict[str, Any]) -> None:
+        """Executor live-telemetry hook: append the record and flush.
+
+        Heartbeat and resource records must hit the log *during* the
+        suite -- a concurrently running ``tea-repro monitor`` tails the
+        file -- so each one is written and flushed immediately.
+        """
+        if self.run_log is not None:
+            self.run_log.record_event(record)
 
     # ------------------------------------------------------------------
     # Telemetry.
@@ -292,9 +321,11 @@ class Engine:
         wall_s: float,
         jobs: int = 1,
         attempts: int = 1,
+        resources: Mapping[str, float] | None = None,
     ) -> None:
         if self.run_log is None:
             return
+        resources = resources or {}
         self.run_log.record(
             RunMetrics(
                 workload=spec.workload,
@@ -310,5 +341,8 @@ class Engine:
                 jobs=jobs,
                 attempts=attempts,
                 backend=getattr(spec, "backend", "detailed"),
+                max_rss_kb=float(resources.get("max_rss_kb", 0.0)),
+                cpu_user_s=float(resources.get("cpu_user_s", 0.0)),
+                cpu_sys_s=float(resources.get("cpu_sys_s", 0.0)),
             )
         )

@@ -28,12 +28,21 @@ Payloads -- not live objects -- cross the process boundary, so a
 parallel suite reconstructs runs through exactly the same
 serialisation path as a store hit and stays bit-identical to a serial
 run.
+
+With a ``heartbeat`` interval set, every worker additionally ships
+periodic progress beats (:mod:`repro.obs.progress`) back over a
+``multiprocessing`` queue; the parent folds them into a live
+:class:`~repro.engine.monitor.SuiteMonitor` status table, detects
+silently *stalled* workers before the wall-clock timeout fires, and
+forwards each beat -- plus per-attempt ``resource.getrusage``
+accounting -- to an ``on_event`` callback (the engine's run-log hook).
 """
 
 from __future__ import annotations
 
 import hashlib
 import heapq
+import multiprocessing
 import time
 import traceback
 from collections import deque
@@ -45,11 +54,20 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
+from queue import Empty
 from typing import Any
 
 from repro import obs
+from repro.engine import monitor as _monitor
+from repro.engine.monitor import SuiteMonitor
 from repro.engine.runs import run_to_payload, simulate_spec
 from repro.engine.spec import RunSpec
+from repro.obs import progress as _progress
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 #: Per-label terminal statuses a :class:`SuiteReport` can carry.
 STATUS_OK = "ok"
@@ -131,6 +149,9 @@ class LabelOutcome:
     wall_s: float = 0.0
     cause: str | None = None  # short "Type: message" style cause
     traceback: str | None = None  # formatted (remote) traceback
+    #: Final attempt's ``getrusage`` accounting (max_rss_kb,
+    #: cpu_user_s, cpu_sys_s), when the platform provides it.
+    resources: dict[str, float] | None = None
 
     def to_json(self) -> dict[str, Any]:
         """A compact JSON-ready record (traceback elided)."""
@@ -141,6 +162,8 @@ class LabelOutcome:
         }
         if self.cause:
             doc["cause"] = self.cause
+        if self.resources:
+            doc["max_rss_kb"] = self.resources.get("max_rss_kb", 0.0)
         return doc
 
 
@@ -154,6 +177,8 @@ class SuiteReport:
         timeouts: Attempts cancelled for exceeding the timeout.
         pool_recreations: Times the worker pool was torn down and
             rebuilt (worker death or hung-worker cancellation).
+        stalls: Silently stalled workers the heartbeat monitor
+            flagged (no activity for ``stall_after`` seconds).
         wall_s: Wall-clock seconds the whole execution took.
     """
 
@@ -161,6 +186,7 @@ class SuiteReport:
     retries: int = 0
     timeouts: int = 0
     pool_recreations: int = 0
+    stalls: int = 0
     wall_s: float = 0.0
 
     @property
@@ -198,7 +224,7 @@ class SuiteReport:
         lines = [
             f"suite: {len(self.ok_labels)}/{len(self.outcomes)} run(s) "
             f"ok in {self.wall_s:.1f}s -- {self.retries} retrie(s), "
-            f"{self.timeouts} timeout(s), "
+            f"{self.timeouts} timeout(s), {self.stalls} stall(s), "
             f"{self.pool_recreations} pool recreation(s)"
         ]
         for label in sorted(self.failed_labels):
@@ -218,6 +244,7 @@ class SuiteReport:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_recreations": self.pool_recreations,
+            "stalls": self.stalls,
             "wall_s": round(self.wall_s, 6),
             "outcomes": {
                 label: out.to_json()
@@ -256,11 +283,43 @@ class _WorkerOutcome:
     cause: str | None  # "ExcType: message"
     wall_s: float
     obs: list | None = None  # trace events collected during the run
+    resources: dict[str, float] | None = None  # getrusage accounting
+
+
+def _rusage() -> tuple[float, float, float] | None:
+    """``(max_rss_kb, cpu_user_s, cpu_sys_s)`` of this process."""
+    if _resource is None:
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return (
+        float(usage.ru_maxrss), usage.ru_utime, usage.ru_stime,
+    )
+
+
+def _rusage_delta(
+    before: tuple[float, float, float] | None,
+    wall_s: float,
+) -> dict[str, float] | None:
+    """Per-attempt resource accounting since *before*.
+
+    ``max_rss_kb`` is the process peak (the kernel reports no
+    per-interval high-water mark); CPU times are true deltas.
+    """
+    after = _rusage()
+    if before is None or after is None:
+        return None
+    return {
+        "max_rss_kb": after[0],
+        "cpu_user_s": round(after[1] - before[1], 6),
+        "cpu_sys_s": round(after[2] - before[2], 6),
+        "wall_s": round(wall_s, 6),
+    }
 
 
 def _run_captured(
     fn: Callable[[tuple[str, Any]], tuple[str, dict[str, Any]]],
     item: tuple[str, Any],
+    attempt: int = 1,
 ) -> _WorkerOutcome:
     """Run *fn* on *item*, capturing any exception where it happened.
 
@@ -271,31 +330,104 @@ def _run_captured(
     pre-run mark -- so state inherited over ``fork`` is not re-shipped
     -- and travel back on the outcome for the parent to merge into one
     suite-wide timeline.
+
+    The run is bracketed by unconditional ``start``/``done`` progress
+    beats (:mod:`repro.obs.progress`) -- when the executor installed a
+    heartbeat sink these reach the parent's stall detector even while
+    instrumentation is off -- and by a ``getrusage`` snapshot pair
+    that lands on the outcome as per-attempt resource accounting.
     """
     label = item[0]
+    spec = item[1] if len(item) > 1 else None
+    workload = getattr(spec, "workload", "") or label
+    backend = getattr(spec, "backend", "") or "detailed"
     start = time.perf_counter()
+    usage_before = _rusage()
     instrumented = obs.enabled()
     mark = obs.COLLECTOR.mark() if instrumented else 0
+    _progress.set_run_context(label, attempt)
+    _progress.begin_run(workload, backend)
     try:
         with obs.span(f"run:{label}"):
             _, payload = fn(item)
     except Exception as exc:
+        wall_s = time.perf_counter() - start
+        _progress.end_run(workload, backend, 0, 0, ok=False)
+        _progress.clear_run_context()
         return _WorkerOutcome(
             label=label,
             payload=None,
             error=traceback.format_exc(),
             cause=f"{type(exc).__name__}: {exc}",
-            wall_s=time.perf_counter() - start,
+            wall_s=wall_s,
             obs=obs.COLLECTOR.drain_from(mark) if instrumented else None,
+            resources=_rusage_delta(usage_before, wall_s),
         )
+    wall_s = time.perf_counter() - start
+    cycles = committed = 0
+    if isinstance(payload, dict):
+        cycles = int(payload.get("cycles") or 0)
+        committed = int(payload.get("committed") or 0)
+    _progress.end_run(workload, backend, cycles, committed, ok=True)
+    _progress.clear_run_context()
     return _WorkerOutcome(
         label=label,
         payload=payload,
         error=None,
         cause=None,
-        wall_s=time.perf_counter() - start,
+        wall_s=wall_s,
         obs=obs.COLLECTOR.drain_from(mark) if instrumented else None,
+        resources=_rusage_delta(usage_before, wall_s),
     )
+
+
+class _QueueSink:
+    """Worker-side heartbeat sink: beats -> the parent's queue.
+
+    The ``min_interval_s`` attribute is the throttle
+    :mod:`repro.obs.progress` honours, so the executor's heartbeat
+    interval governs the beat rate. A full or torn-down queue drops
+    the beat -- heartbeats are best-effort by design and must never
+    fail a run.
+    """
+
+    def __init__(
+        self, queue: Any, min_interval_s: float
+    ) -> None:
+        self.queue = queue
+        self.min_interval_s = min_interval_s
+
+    def __call__(self, event: "_progress.ProgressEvent") -> None:
+        try:
+            self.queue.put_nowait(event.to_record())
+        except Exception:
+            pass
+
+
+def _heartbeat_init(queue: Any, interval_s: float) -> None:
+    """Pool initializer: install the queue sink in a fresh worker.
+
+    Travels to the worker through ``ProcessPoolExecutor``'s
+    ``initargs`` (valid under both fork and spawn -- initargs ride the
+    ``Process`` constructor, which is the one place a
+    ``multiprocessing.Queue`` may cross).
+    """
+    _progress.set_sink(_QueueSink(queue, interval_s))
+
+
+class _LocalSink:
+    """Serial-path heartbeat sink: beats -> the parent handler."""
+
+    def __init__(
+        self,
+        handler: Callable[[dict[str, Any]], None],
+        min_interval_s: float,
+    ) -> None:
+        self._handler = handler
+        self.min_interval_s = min_interval_s
+
+    def __call__(self, event: "_progress.ProgressEvent") -> None:
+        self._handler(event.to_record())
 
 
 def _instant(name: str, **args: Any) -> None:
@@ -344,6 +476,18 @@ class SuiteExecutor:
             available via :attr:`last_report`).
         on_result: Callback ``(label, payload)`` invoked in the parent
             as each run lands -- the engine's checkpoint hook.
+        heartbeat: Worker heartbeat interval in seconds; ``None``
+            (default) disables live monitoring. When set, workers ship
+            progress beats to the parent, a
+            :class:`~repro.engine.monitor.SuiteMonitor` tracks
+            per-label status on :attr:`monitor`, and silent stalls are
+            flagged before the wall-clock timeout fires.
+        stall_after: Seconds of worker silence before a running label
+            counts as stalled (default: 4x the heartbeat interval).
+        on_event: Callback for live ``"kind": "heartbeat"`` /
+            ``"kind": "resources"`` records as the parent sees them --
+            the engine streams these into the run log so ``tea-repro
+            monitor`` can tail an in-flight suite.
     """
 
     def __init__(
@@ -360,6 +504,9 @@ class SuiteExecutor:
         seed: int = 12345,
         keep_going: bool = False,
         on_result: Callable[[str, dict[str, Any]], None] | None = None,
+        heartbeat: float | None = None,
+        stall_after: float | None = None,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.retries = max(0, int(retries))
@@ -370,6 +517,16 @@ class SuiteExecutor:
         self.seed = int(seed)
         self.keep_going = bool(keep_going)
         self.on_result = on_result
+        self.heartbeat = (
+            None if heartbeat is None else max(0.05, float(heartbeat))
+        )
+        if stall_after is None and self.heartbeat is not None:
+            stall_after = (
+                _monitor.STALL_AFTER_BEATS * self.heartbeat
+            )
+        self.stall_after = stall_after
+        self.on_event = on_event
+        self.monitor: SuiteMonitor | None = None
         self.last_report: SuiteReport | None = None
 
     # ------------------------------------------------------------------
@@ -399,6 +556,12 @@ class SuiteExecutor:
         """Execute every item; never raises for run-level failures."""
         items = list(items)
         start = time.monotonic()
+        self.monitor = None
+        if self.heartbeat is not None:
+            self.monitor = SuiteMonitor(
+                [item[0] for item in items],
+                stall_after=self.stall_after,
+            )
         if self.jobs <= 1 or not items or (
             len(items) <= 1 and self.timeout is None
         ):
@@ -423,6 +586,61 @@ class SuiteExecutor:
             self.on_result(label, payload)
 
     # ------------------------------------------------------------------
+    # Live monitoring plumbing (heartbeat mode only).
+    # ------------------------------------------------------------------
+    def _live_event(self, record: dict[str, Any]) -> None:
+        """Fold one live record into the monitor and forward it."""
+        if self.monitor is not None:
+            self.monitor.observe(record)
+        if self.on_event is not None:
+            self.on_event(record)
+
+    def _settle_resources(
+        self, label: str, attempt: int, outcome: _WorkerOutcome
+    ) -> None:
+        """Emit the per-attempt ``"kind": "resources"`` record."""
+        if outcome.resources is None:
+            return
+        self._live_event(
+            {
+                "kind": "resources",
+                "label": label,
+                "attempt": attempt,
+                "ts": time.time(),
+                **outcome.resources,
+            }
+        )
+
+    def _note(self, method: str, *args: Any) -> None:
+        """Invoke a monitor notification if monitoring is on."""
+        if self.monitor is not None:
+            getattr(self.monitor, method)(*args)
+
+    def _pump(self, queue: Any, report: SuiteReport) -> None:
+        """Drain queued worker beats; run the stall check."""
+        if self.monitor is None:
+            return
+        if queue is not None:
+            while True:
+                try:
+                    record = queue.get_nowait()
+                except Empty:
+                    break
+                except (OSError, ValueError):  # queue torn down
+                    break
+                self._live_event(record)
+        for record in self.monitor.check_stalls():
+            report.stalls += 1
+            obs.COUNTERS.inc("executor.stalls")
+            _instant(
+                f"stall:{record['label']}",
+                stalled_for_s=record.get("stalled_for_s"),
+            )
+            # The monitor already folded the stall; forward only.
+            if self.on_event is not None:
+                self.on_event(record)
+
+    # ------------------------------------------------------------------
     # Serial path.
     # ------------------------------------------------------------------
     def _execute_serial(
@@ -430,46 +648,66 @@ class SuiteExecutor:
     ) -> SuiteResult:
         payloads: dict[str, dict[str, Any]] = {}
         report = SuiteReport()
-        for item in items:
-            label = item[0]
-            for attempt in range(1, self.retries + 2):
-                _instant(f"dispatch:{label}", attempt=attempt)
-                outcome = _run_captured(self.fn, item)
-                # Serial runs drained their own events out of the
-                # collector; put them back on the shared timeline.
-                obs.COLLECTOR.ingest(outcome.obs)
-                if outcome.error is None:
-                    payloads[label] = outcome.payload
-                    report.outcomes[label] = LabelOutcome(
-                        label, STATUS_OK, attempt, outcome.wall_s
-                    )
-                    obs.COUNTERS.inc("executor.runs_ok")
-                    self._emit(label, outcome.payload)
-                    break
-                if attempt <= self.retries:
-                    report.retries += 1
-                    obs.COUNTERS.inc("executor.retries")
-                    _instant(
-                        f"retry:{label}",
-                        attempt=attempt,
-                        cause=outcome.cause,
-                    )
-                    delay = self._delay(attempt + 1, label)
-                    if delay > 0:
-                        with obs.span(
-                            f"backoff:{label}", delay_s=round(delay, 6)
-                        ):
-                            time.sleep(delay)
-                else:
-                    obs.COUNTERS.inc("executor.runs_failed")
-                    report.outcomes[label] = LabelOutcome(
-                        label,
-                        STATUS_FAILED,
-                        attempt,
-                        outcome.wall_s,
-                        cause=outcome.cause,
-                        traceback=outcome.error,
-                    )
+        if self.heartbeat is not None:
+            # In-process runs beat straight into the parent handler
+            # (no queue). Stall detection needs a thread the serial
+            # path deliberately does not have; beats and resource
+            # records still flow.
+            _progress.set_sink(
+                _LocalSink(self._live_event, self.heartbeat)
+            )
+        try:
+            for item in items:
+                label = item[0]
+                for attempt in range(1, self.retries + 2):
+                    _instant(f"dispatch:{label}", attempt=attempt)
+                    self._note("note_dispatch", label, attempt)
+                    outcome = _run_captured(self.fn, item, attempt)
+                    # Serial runs drained their own events out of the
+                    # collector; put them back on the shared timeline.
+                    obs.COLLECTOR.ingest(outcome.obs)
+                    self._settle_resources(label, attempt, outcome)
+                    if outcome.error is None:
+                        payloads[label] = outcome.payload
+                        report.outcomes[label] = LabelOutcome(
+                            label, STATUS_OK, attempt, outcome.wall_s,
+                            resources=outcome.resources,
+                        )
+                        obs.COUNTERS.inc("executor.runs_ok")
+                        self._note("note_done", label, "done")
+                        self._emit(label, outcome.payload)
+                        break
+                    if attempt <= self.retries:
+                        report.retries += 1
+                        obs.COUNTERS.inc("executor.retries")
+                        _instant(
+                            f"retry:{label}",
+                            attempt=attempt,
+                            cause=outcome.cause,
+                        )
+                        self._note("note_retry", label, attempt + 1)
+                        delay = self._delay(attempt + 1, label)
+                        if delay > 0:
+                            with obs.span(
+                                f"backoff:{label}",
+                                delay_s=round(delay, 6),
+                            ):
+                                time.sleep(delay)
+                    else:
+                        obs.COUNTERS.inc("executor.runs_failed")
+                        self._note("note_done", label, "failed")
+                        report.outcomes[label] = LabelOutcome(
+                            label,
+                            STATUS_FAILED,
+                            attempt,
+                            outcome.wall_s,
+                            cause=outcome.cause,
+                            traceback=outcome.error,
+                            resources=outcome.resources,
+                        )
+        finally:
+            if self.heartbeat is not None:
+                _progress.set_sink(None)
         return SuiteResult(payloads=payloads, report=report)
 
     # ------------------------------------------------------------------
@@ -487,7 +725,20 @@ class SuiteExecutor:
         delayed: list[tuple[float, int, tuple[str, Any], int]] = []
         running: dict[Any, tuple[tuple[str, Any], int, float]] = {}
         seq = 0  # heap tie-breaker keeping retry order deterministic
-        pool = ProcessPoolExecutor(max_workers=workers)
+
+        beat_queue: Any = None
+        pool_kwargs: dict[str, Any] = {}
+        if self.heartbeat is not None:
+            # Workers ship beat records back over this queue; it is
+            # passed through the pool initializer (initargs ride the
+            # Process constructor, the one place a multiprocessing
+            # queue may legally cross, under fork and spawn alike).
+            beat_queue = multiprocessing.Queue()
+            pool_kwargs = {
+                "initializer": _heartbeat_init,
+                "initargs": (beat_queue, self.heartbeat),
+            }
+        pool = ProcessPoolExecutor(max_workers=workers, **pool_kwargs)
 
         def schedule_retry(
             item: tuple[str, Any], failed_attempt: int
@@ -495,6 +746,7 @@ class SuiteExecutor:
             nonlocal seq
             report.retries += 1
             obs.COUNTERS.inc("executor.retries")
+            self._note("note_retry", item[0], failed_attempt + 1)
             seq += 1
             delay = self._delay(failed_attempt + 1, item[0])
             heapq.heappush(
@@ -514,13 +766,14 @@ class SuiteExecutor:
                     item, attempt = ready.popleft()
                     try:
                         future = pool.submit(
-                            _run_captured, self.fn, item
+                            _run_captured, self.fn, item, attempt
                         )
                     except (BrokenProcessPool, RuntimeError):
                         ready.appendleft((item, attempt))
                         broken = True
                         break
                     _instant(f"dispatch:{item[0]}", attempt=attempt)
+                    self._note("note_dispatch", item[0], attempt)
                     running[future] = (item, attempt, time.monotonic())
 
                 if not broken:
@@ -541,6 +794,7 @@ class SuiteExecutor:
                         self._expire(running, report, schedule_retry)
                         or broken
                     )
+                self._pump(beat_queue, report)
 
                 if broken:
                     # Surviving in-flight runs are innocent bystanders:
@@ -552,11 +806,17 @@ class SuiteExecutor:
                         "pool.recreate", workers=workers
                     ):
                         _terminate_pool(pool)
-                        pool = ProcessPoolExecutor(max_workers=workers)
+                        pool = ProcessPoolExecutor(
+                            max_workers=workers, **pool_kwargs
+                        )
                     report.pool_recreations += 1
                     obs.COUNTERS.inc("executor.pool_recreations")
         finally:
             _terminate_pool(pool)
+            self._pump(beat_queue, report)
+            if beat_queue is not None:
+                beat_queue.close()
+                beat_queue.join_thread()
         return SuiteResult(payloads=payloads, report=report)
 
     def _wait_timeout(
@@ -564,7 +824,12 @@ class SuiteExecutor:
         running: dict[Any, tuple[tuple[str, Any], int, float]],
         delayed: list,
     ) -> float | None:
-        """How long the completion wait may block."""
+        """How long the completion wait may block.
+
+        With heartbeats on, the wait additionally wakes at the beat
+        interval so the parent pumps the queue and runs the stall
+        check while workers are still in flight.
+        """
         bounds = []
         if self.timeout is not None:
             earliest = min(
@@ -573,6 +838,8 @@ class SuiteExecutor:
             bounds.append(earliest + self.timeout - time.monotonic())
         if delayed:
             bounds.append(delayed[0][0] - time.monotonic())
+        if self.heartbeat is not None:
+            bounds.append(self.heartbeat)
         if not bounds:
             return None
         return max(0.0, min(bounds))
@@ -602,6 +869,7 @@ class SuiteExecutor:
                 if attempt <= self.retries:
                     schedule_retry(item, attempt)
                 else:
+                    self._note("note_done", label, "failed")
                     report.outcomes[label] = LabelOutcome(
                         label,
                         STATUS_FAILED,
@@ -616,6 +884,7 @@ class SuiteExecutor:
                 if attempt <= self.retries:
                     schedule_retry(item, attempt)
                 else:
+                    self._note("note_done", label, "failed")
                     report.outcomes[label] = LabelOutcome(
                         label,
                         STATUS_FAILED,
@@ -628,12 +897,15 @@ class SuiteExecutor:
             # Worker-side span events travelled back on the outcome;
             # merge them into the parent's timeline.
             obs.COLLECTOR.ingest(outcome.obs)
+            self._settle_resources(label, attempt, outcome)
             if outcome.error is None:
                 payloads[label] = outcome.payload
                 report.outcomes[label] = LabelOutcome(
-                    label, STATUS_OK, attempt, outcome.wall_s
+                    label, STATUS_OK, attempt, outcome.wall_s,
+                    resources=outcome.resources,
                 )
                 obs.COUNTERS.inc("executor.runs_ok")
+                self._note("note_done", label, "done")
                 self._emit(label, outcome.payload)
             elif attempt <= self.retries:
                 _instant(
@@ -644,6 +916,7 @@ class SuiteExecutor:
                 schedule_retry(item, attempt)
             else:
                 obs.COUNTERS.inc("executor.runs_failed")
+                self._note("note_done", label, "failed")
                 report.outcomes[label] = LabelOutcome(
                     label,
                     STATUS_FAILED,
@@ -651,6 +924,7 @@ class SuiteExecutor:
                     outcome.wall_s,
                     cause=outcome.cause,
                     traceback=outcome.error,
+                    resources=outcome.resources,
                 )
         return broken
 
@@ -691,6 +965,7 @@ class SuiteExecutor:
             if attempt <= self.retries:
                 schedule_retry(item, attempt)
             else:
+                self._note("note_done", label, "timeout")
                 report.outcomes[label] = LabelOutcome(
                     label,
                     STATUS_TIMEOUT,

@@ -1,0 +1,248 @@
+"""Declarative run-health gating: SLO rules over a run log.
+
+``tea-repro health <run-log> --slo rules.json`` reads the same JSONL
+run log that :class:`~repro.engine.telemetry.RunLog` writes -- run
+records, suite reports, and the live ``heartbeat``/``resources``
+records -- measures a small set of health indicators, and checks them
+against a committed ``tea-slo-v1`` rules file. Any violated rule is a
+non-zero exit, which is what lets CI fail a build whose suite ran to
+completion but ran *badly*: workers that went silent for seconds,
+throughput that cratered, retry storms, or memory blow-ups.
+
+Rules (all optional; absent rules are not checked):
+
+``max_stall_s``
+    Longest observed heartbeat silence (seconds) a running worker may
+    show. Measured from the gaps between consecutive heartbeats of
+    each label/attempt and from ``phase: "stalled"`` flags.
+``min_cycles_per_sec``
+    Floor on aggregate simulated throughput over the log's runs.
+``max_retry_rate``
+    Ceiling on retries per dispatched label (0.5 = one retry per two
+    labels) across the log's suite executions.
+``max_rss_kb``
+    Ceiling on the peak worker resident set (kilobytes, as reported
+    by ``getrusage``).
+``max_failed_labels``
+    Ceiling on terminally failed suite labels (default expectation
+    for CI is 0, but the rule is only checked when present).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.engine.telemetry import aggregate_records
+
+#: Schema tag every SLO rules file must carry.
+SLO_SCHEMA = "tea-slo-v1"
+
+#: The rule names :func:`evaluate_health` understands.
+RULE_NAMES = (
+    "max_stall_s",
+    "min_cycles_per_sec",
+    "max_retry_rate",
+    "max_rss_kb",
+    "max_failed_labels",
+)
+
+
+def read_slo_file(path: str | Path) -> dict[str, float]:
+    """The rules mapping of a ``tea-slo-v1`` file.
+
+    Raises:
+        ValueError: On a malformed file, unknown schema, or unknown
+            rule name (typoed rules must not silently pass).
+    """
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("schema") != SLO_SCHEMA:
+        found = doc.get("schema") if isinstance(doc, dict) else None
+        raise ValueError(
+            f"{path}: not a {SLO_SCHEMA} file (schema={found!r})"
+        )
+    rules = doc.get("rules")
+    if not isinstance(rules, dict) or not rules:
+        raise ValueError(f"{path}: missing or empty 'rules' mapping")
+    unknown = sorted(set(rules) - set(RULE_NAMES))
+    if unknown:
+        raise ValueError(
+            f"{path}: unknown rule(s) {', '.join(unknown)} "
+            f"(known: {', '.join(RULE_NAMES)})"
+        )
+    return {name: float(value) for name, value in rules.items()}
+
+
+def max_heartbeat_gap(
+    records: Iterable[Mapping[str, Any]],
+) -> float:
+    """Longest heartbeat silence (seconds) observed in *records*.
+
+    The gap is measured between consecutive heartbeats of the same
+    label *while it was running* -- i.e. from ``start``/``progress``
+    beats to the next beat of that label, including its ``done``. A
+    label's attempts are tracked separately (a retry restarts the
+    clock), and explicit ``phase: "stalled"`` flags contribute their
+    ``stalled_for_s`` directly, so a worker that died silently (never
+    beat again) still registers.
+    """
+    last: dict[tuple[str, int], float] = {}
+    worst = 0.0
+    for rec in records:
+        if rec.get("kind") != "heartbeat":
+            continue
+        phase = rec.get("phase")
+        ts = float(rec.get("ts", 0.0))
+        key = (str(rec.get("label", "")), int(rec.get("attempt", 1)))
+        if phase == "stalled":
+            worst = max(worst, float(rec.get("stalled_for_s", 0.0)))
+            continue
+        prev = last.get(key)
+        if prev is not None and ts > prev:
+            worst = max(worst, ts - prev)
+        if phase == "done":
+            last.pop(key, None)
+        else:
+            last[key] = ts
+    return worst
+
+
+@dataclass
+class HealthReport:
+    """Measured indicators plus the rules they violated."""
+
+    metrics: dict[str, float] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    rules: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked rule passed."""
+        return not self.violations
+
+    def to_json(self) -> dict[str, Any]:
+        """A JSON-ready document (``tea-repro health --json``)."""
+        return {
+            "ok": self.ok,
+            "metrics": dict(self.metrics),
+            "rules": dict(self.rules),
+            "violations": list(self.violations),
+        }
+
+    def render(self) -> str:
+        """Human-readable verdict, one line per checked rule."""
+        lines = [
+            "health: " + ("PASS" if self.ok else "FAIL")
+            + f" ({len(self.rules)} rule(s) checked)"
+        ]
+        for name in RULE_NAMES:
+            if name not in self.rules:
+                continue
+            measured = self.metrics.get(_METRIC_FOR_RULE[name], 0.0)
+            verdict = "violated" if any(
+                v.startswith(name) for v in self.violations
+            ) else "ok"
+            lines.append(
+                f"  {name} = {self.rules[name]:g}: "
+                f"measured {measured:g} -- {verdict}"
+            )
+        for violation in self.violations:
+            lines.append(f"  FAIL {violation}")
+        return "\n".join(lines)
+
+
+#: Which measured indicator each rule is checked against.
+_METRIC_FOR_RULE = {
+    "max_stall_s": "max_stall_s",
+    "min_cycles_per_sec": "sim_cycles_per_sec",
+    "max_retry_rate": "retry_rate",
+    "max_rss_kb": "max_rss_kb",
+    "max_failed_labels": "failed_labels",
+}
+
+
+def measure_health(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[str, float]:
+    """The health indicators of a run log's records."""
+    records = list(records)
+    agg = aggregate_records(records)
+    suites = [r for r in records if r.get("kind") == "suite"]
+    labels = sum(int(r.get("labels", 0)) for r in suites)
+    retries = agg["suites"]["retries"]
+    return {
+        "max_stall_s": round(max_heartbeat_gap(records), 6),
+        "sim_cycles_per_sec": agg["runs"]["sim_cycles_per_sec"],
+        "retry_rate": round(retries / labels, 6) if labels else 0.0,
+        "max_rss_kb": agg["live"]["max_rss_kb"],
+        "failed_labels": float(agg["suites"]["failed_labels"]),
+        "heartbeats": float(agg["live"]["heartbeats"]),
+        "stall_flags": float(agg["live"]["stall_flags"]),
+        "simulated_runs": float(
+            agg["runs"]["by_source"].get("simulated", 0)
+        ),
+    }
+
+
+def evaluate_health(
+    records: Iterable[Mapping[str, Any]],
+    rules: Mapping[str, float],
+) -> HealthReport:
+    """Check a run log's records against SLO *rules*.
+
+    ``min_cycles_per_sec`` is only enforced when the log contains at
+    least one simulated run (a log of pure cache hits has no
+    throughput to judge); every other rule checks unconditionally --
+    an empty measurement is a 0, which trivially passes ceilings.
+    """
+    metrics = measure_health(records)
+    report = HealthReport(metrics=metrics, rules=dict(rules))
+
+    def ceiling(rule: str, metric: str, unit: str = "") -> None:
+        if rule not in rules:
+            return
+        limit = float(rules[rule])
+        value = metrics[metric]
+        if value > limit:
+            report.violations.append(
+                f"{rule}: measured {value:g}{unit} exceeds "
+                f"limit {limit:g}{unit}"
+            )
+
+    ceiling("max_stall_s", "max_stall_s", "s")
+    ceiling("max_retry_rate", "retry_rate")
+    ceiling("max_rss_kb", "max_rss_kb", "kB")
+    ceiling("max_failed_labels", "failed_labels")
+    if "min_cycles_per_sec" in rules and metrics["simulated_runs"]:
+        limit = float(rules["min_cycles_per_sec"])
+        value = metrics["sim_cycles_per_sec"]
+        if value < limit:
+            report.violations.append(
+                f"min_cycles_per_sec: measured {value:g} cycles/s "
+                f"is below floor {limit:g}"
+            )
+    return report
+
+
+def check_run_log(
+    path: str | Path, slo_path: str | Path
+) -> HealthReport:
+    """Read a run log and an SLO file; evaluate the rules."""
+    from repro.engine.telemetry import read_run_log
+
+    return evaluate_health(read_run_log(path), read_slo_file(slo_path))
+
+
+__all__ = [
+    "RULE_NAMES",
+    "SLO_SCHEMA",
+    "HealthReport",
+    "check_run_log",
+    "evaluate_health",
+    "max_heartbeat_gap",
+    "measure_health",
+    "read_slo_file",
+]

@@ -25,6 +25,27 @@ DEFAULT_RUN_LOG_NAME = "runs.jsonl"
 #: Metric sources, in increasing cheapness.
 SOURCES = ("simulated", "store", "memo")
 
+#: Schema tag carried by ``tea-repro stats --json`` documents.
+STATS_SCHEMA = "tea-stats-v1"
+
+
+def validate_stats_doc(doc: Any) -> dict[str, Any]:
+    """Validate a stats summary document's schema tag.
+
+    Readers of ``tea-repro stats --json`` output call this first;
+    BENCH files carry ``tea-bench-v1`` the same way.
+
+    Raises:
+        ValueError: When *doc* is not a dict or carries the wrong
+            (or no) schema tag.
+    """
+    if not isinstance(doc, dict) or doc.get("schema") != STATS_SCHEMA:
+        found = doc.get("schema") if isinstance(doc, dict) else None
+        raise ValueError(
+            f"not a {STATS_SCHEMA} stats document (schema={found!r})"
+        )
+    return doc
+
 
 @dataclass
 class RunMetrics:
@@ -45,6 +66,11 @@ class RunMetrics:
         backend: Execution tier the run used (``"detailed"``,
             ``"functional"``, or ``"sampled"``).
         timestamp: Unix time the record was created.
+        max_rss_kb: Peak resident set of the worker process
+            (``getrusage``; 0 when not captured -- cache hits, or
+            platforms without the ``resource`` module).
+        cpu_user_s: User CPU seconds the final attempt cost.
+        cpu_sys_s: System CPU seconds the final attempt cost.
     """
 
     workload: str
@@ -58,6 +84,9 @@ class RunMetrics:
     attempts: int = 1
     backend: str = "detailed"
     timestamp: float = field(default_factory=time.time)
+    max_rss_kb: float = 0.0
+    cpu_user_s: float = 0.0
+    cpu_sys_s: float = 0.0
 
     @property
     def cycles_per_sec(self) -> float:
@@ -68,7 +97,7 @@ class RunMetrics:
 
     def to_json(self) -> dict[str, Any]:
         """A JSON-ready dict (one run-log line)."""
-        return {
+        doc = {
             "workload": self.workload,
             "spec_key": self.spec_key,
             "source": self.source,
@@ -82,6 +111,13 @@ class RunMetrics:
             "backend": self.backend,
             "timestamp": self.timestamp,
         }
+        if self.max_rss_kb or self.cpu_user_s or self.cpu_sys_s:
+            doc["resources"] = {
+                "max_rss_kb": self.max_rss_kb,
+                "cpu_user_s": self.cpu_user_s,
+                "cpu_sys_s": self.cpu_sys_s,
+            }
+        return doc
 
 
 class RunLog:
@@ -157,6 +193,18 @@ class RunLog:
         doc = {"kind": "suite", "timestamp": time.time()}
         doc.update(report.to_json())
         self._write_line(json.dumps(doc, sort_keys=True))
+
+    def record_event(self, record: Mapping[str, Any]) -> None:
+        """Append one live-telemetry record as a JSON line.
+
+        Used for the executor's ``"kind": "heartbeat"`` and
+        ``"kind": "resources"`` records; the record is written as-is
+        (the caller supplies ``kind`` and timestamps). Each record is
+        one flushed line, so a concurrently tailing
+        :class:`~repro.engine.monitor.SuiteMonitor` never sees a torn
+        write.
+        """
+        self._write_line(json.dumps(dict(record), sort_keys=True))
 
     def record_trace(
         self,
@@ -258,6 +306,8 @@ def aggregate_records(
     runs = [r for r in records if r.get("kind") is None]
     suites = [r for r in records if r.get("kind") == "suite"]
     traces = [r for r in records if r.get("kind") == "trace"]
+    beats = [r for r in records if r.get("kind") == "heartbeat"]
+    resources = [r for r in records if r.get("kind") == "resources"]
     span_count = sum(1 for r in records if r.get("kind") == "span")
     counter_count = sum(
         1 for r in records if r.get("kind") == "counters"
@@ -358,6 +408,29 @@ def aggregate_records(
             "failed_labels": sum(
                 len(r.get("failed", ())) for r in suites
             ),
+            "stalls": sum(int(r.get("stalls", 0)) for r in suites),
+        },
+        "live": {
+            "heartbeats": len(beats),
+            "stall_flags": sum(
+                1 for r in beats if r.get("phase") == "stalled"
+            ),
+            "resources": len(resources),
+            "max_rss_kb": round(
+                max(
+                    (float(r.get("max_rss_kb", 0.0)) for r in resources),
+                    default=0.0,
+                ),
+                1,
+            ),
+            "cpu_user_s": round(
+                sum(float(r.get("cpu_user_s", 0.0)) for r in resources),
+                6,
+            ),
+            "cpu_sys_s": round(
+                sum(float(r.get("cpu_sys_s", 0.0)) for r in resources),
+                6,
+            ),
         },
         "obs": {"spans": span_count, "counters": counter_count},
         "traces": {
@@ -383,8 +456,12 @@ def aggregate_records(
 def summarize_records_json(
     records: Iterable[dict[str, Any]],
 ) -> dict[str, Any]:
-    """The machine-readable run-log summary (``tea-repro stats --json``)."""
-    return aggregate_records(records)
+    """The machine-readable run-log summary (``tea-repro stats --json``).
+
+    The document leads with ``"schema": "tea-stats-v1"``; readers
+    check it via :func:`validate_stats_doc` before trusting the rest.
+    """
+    return {"schema": STATS_SCHEMA, **aggregate_records(records)}
 
 
 def summarize_records(records: Iterable[dict[str, Any]]) -> str:
@@ -397,10 +474,12 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     runs = agg["runs"]
     obs_counts = agg["obs"]
     trace_counts = agg["traces"]
+    live = agg["live"]
     have_obs = obs_counts["spans"] or obs_counts["counters"]
     have_traces = trace_counts["captures"] or trace_counts["loads"]
+    have_live = live["heartbeats"] or live["resources"]
     if not runs["total"] and not suites and not have_obs \
-            and not have_traces:
+            and not have_traces and not have_live:
         return "run log: empty (no engine runs recorded yet)"
     if not runs["total"]:
         lines = []
@@ -410,6 +489,8 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
             lines.append(_summarize_obs(obs_counts))
         if have_traces:
             lines.append(_summarize_traces(trace_counts))
+        if have_live:
+            lines.append(_summarize_live(live))
         return "\n".join(lines)
 
     by_source = runs["by_source"]
@@ -464,7 +545,20 @@ def summarize_records(records: Iterable[dict[str, Any]]) -> str:
     if have_traces:
         lines.append("")
         lines.append(_summarize_traces(trace_counts))
+    if have_live:
+        lines.append("")
+        lines.append(_summarize_live(live))
     return "\n".join(lines)
+
+
+def _summarize_live(live: Mapping[str, Any]) -> str:
+    """One-line summary of the live-telemetry records in the log."""
+    return (
+        f"live: {live['heartbeats']} heartbeat(s) "
+        f"({live['stall_flags']} stall flag(s)), "
+        f"{live['resources']} resource record(s), "
+        f"peak RSS {live['max_rss_kb']:,.0f} kB"
+    )
 
 
 def _summarize_traces(trace_counts: Mapping[str, Any]) -> str:

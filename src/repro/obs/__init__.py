@@ -10,7 +10,13 @@ pieces, all **off by default** and zero-overhead while disabled:
 * :mod:`repro.obs.counters` -- a :class:`CounterRegistry` of counters,
   gauges, and histograms the core and suite executor report into;
 * :mod:`repro.obs.stageprof` -- :class:`StageProfiler`, wall time per
-  core pipeline stage per N-cycle window.
+  core pipeline stage per N-cycle window;
+* :mod:`repro.obs.metrics` -- :class:`MetricsHub` ring-buffer time
+  series over the registry plus Prometheus text exposition
+  (:func:`expose_prometheus`, optional :class:`MetricsServer`);
+* :mod:`repro.obs.progress` -- per-run progress beats
+  (:func:`report_progress`) the backends emit and the suite executor
+  ships cross-process as ``"kind": "heartbeat"`` records.
 
 Exports land in two places: Chrome trace-event JSON for Perfetto /
 ``chrome://tracing`` (:func:`export_chrome_trace`), and ``"kind":
@@ -21,13 +27,41 @@ Enable with ``REPRO_OBS=1`` or :func:`enable`; the CLI's
 ``--trace-out`` flag does it for you.
 """
 
-from repro.obs.counters import COUNTERS, CounterRegistry, counters
+from repro.obs.counters import (
+    BUCKET_BOUNDS,
+    COUNTERS,
+    CounterRegistry,
+    counters,
+    hist_quantile,
+)
 from repro.obs.export import (
     chrome_trace_doc,
     events_to_jsonl,
     export_chrome_trace,
     read_chrome_trace,
     validate_chrome_trace,
+)
+from repro.obs.metrics import (
+    HUB,
+    MetricSeries,
+    MetricsHub,
+    MetricsServer,
+    expose_prometheus,
+    hub,
+    prometheus_text,
+    sanitize_metric_name,
+    validate_prometheus_text,
+)
+from repro.obs.progress import (
+    PROGRESS_EVERY_CYCLES,
+    PROGRESS_EVERY_INSTS,
+    ProgressEvent,
+    begin_run,
+    clear_run_context,
+    end_run,
+    report_progress,
+    set_run_context,
+    set_sink,
 )
 from repro.obs.spans import (
     COLLECTOR,
@@ -51,34 +85,58 @@ from repro.obs.stageprof import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "COLLECTOR",
     "COUNTERS",
     "CounterRegistry",
     "DEFAULT_WINDOW_CYCLES",
+    "HUB",
+    "MetricSeries",
+    "MetricsHub",
+    "MetricsServer",
     "OBS_ENV",
+    "PROGRESS_EVERY_CYCLES",
+    "PROGRESS_EVERY_INSTS",
+    "ProgressEvent",
     "STAGES",
     "Span",
     "SpanCollector",
     "StageProfiler",
     "WINDOW_ENV",
+    "begin_run",
     "chrome_trace_doc",
+    "clear_run_context",
     "collector",
     "counters",
     "disable",
     "enable",
     "enabled",
+    "end_run",
     "events_to_jsonl",
     "export_chrome_trace",
+    "expose_prometheus",
+    "hist_quantile",
+    "hub",
     "now_us",
+    "prometheus_text",
     "read_chrome_trace",
+    "report_progress",
+    "sanitize_metric_name",
+    "set_run_context",
+    "set_sink",
     "span",
     "traced",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "window_cycles_default",
 ]
 
 
 def reset() -> None:
     """Clear collected events and metrics (test/tooling helper)."""
+    from repro.obs import progress as _progress
+
     COLLECTOR.clear()
     COUNTERS.clear()
+    HUB.clear()
+    _progress.reset()

@@ -574,14 +574,25 @@ class Core:
         prof = StageProfiler(self.program.name)
         step = self._step_profiled
         active = self.active
-        with obs.span(f"core.run:{self.program.name}"):
+        workload = self.program.name
+        beat_every = obs.PROGRESS_EVERY_CYCLES
+        next_beat = beat_every
+        with obs.span(f"core.run:{workload}"):
             while active():
                 if self.cycle >= max_cycles:
                     raise SimulationError(
-                        f"{self.program.name}: exceeded "
+                        f"{workload}: exceeded "
                         f"{max_cycles} cycles"
                     )
                 step(prof)
+                if self.cycle >= next_beat:
+                    # Observe-only heartbeat: reads the two public
+                    # counts, mutates nothing (bit-identity pinned).
+                    next_beat = self.cycle + beat_every
+                    obs.report_progress(
+                        workload, "detailed",
+                        self.cycle, self.committed_total,
+                    )
             self._finish()
         prof.finish(self.cycle)
         self._report_obs()

@@ -72,9 +72,9 @@ PINNED_MODEL_VERSION = 3
 #: sha256 of each registered file's bytes at pin time.
 SEMANTIC_HASHES = {
     "src/repro/backends/functional.py":
-        "e3335f68ba5a68825631fc37718c233d3e5e2a65954ae8ca42a9ff25e74f60d5",
+        "754a63bda63491fc5e6b823e99649bbf783b3f775a6eb5e6bbb862597a9ab657",
     "src/repro/backends/sampled.py":
-        "9f8f7804d40f14e169047da33d6d97a2a378e0c454ccf761baf307b9a2cee0af",
+        "f4acbbec70488b07fd883f65e6c9a5e2e6dec3f513696d45557263b9f89ae0bb",
     "src/repro/backends/warmup.py":
         "59c35f0d5c63e7fbdcc8d3add5d894033139c46c0b735bf520d4006e08fdbdc3",
     "src/repro/branch/predictor.py":
@@ -96,7 +96,7 @@ SEMANTIC_HASHES = {
     "src/repro/memory/tlb.py":
         "6e799416dcd20a2c0efd72914ac75ae599d63a83984b0afc4256bf348662e338",
     "src/repro/uarch/core.py":
-        "dc8368c17c9ae85928d49e9f494b843e347a1777f1d76238c991829b0ab7b4d4",
+        "bcbe9c6b8ded434507466627d2b2ad83d711f69485b445d792ea3a1845fea337",
     "src/repro/uarch/uop.py":
         "b9f8e405d1b673cc594b23b967b988527218143e6636d802c5717fc9a0d27a63",
 }

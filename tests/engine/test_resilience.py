@@ -301,7 +301,13 @@ def test_engine_records_attempts_in_run_telemetry(tmp_path):
     )
     engine.run_suite({"flaky": spec("exchange2")})
     records = [
-        r for r in read_run_log(log_path) if r.get("kind") != "suite"
+        r for r in read_run_log(log_path) if r.get("kind") is None
     ]
     assert [r["attempts"] for r in records] == [2]
     assert records[0]["source"] == "simulated"
+    # Each attempt also left its resource-usage footprint.
+    resources = [
+        r for r in read_run_log(log_path)
+        if r.get("kind") == "resources"
+    ]
+    assert [r["attempt"] for r in resources] == [1, 2]

@@ -311,7 +311,20 @@ _GOLDEN_RECORDS = [
     {"workload": "nab", "source": "memo", "wall_s": 0.0,
      "cycles": 200_000},
     {"kind": "suite", "retries": 2, "timeouts": 1,
-     "pool_recreations": 0, "failed": ["xz"]},
+     "pool_recreations": 0, "failed": ["xz"], "stalls": 1},
+    {"kind": "heartbeat", "label": "lbm", "workload": "lbm",
+     "backend": "detailed", "phase": "start", "attempt": 1, "pid": 7,
+     "cycles": 0, "committed": 0, "ts": 100.0},
+    {"kind": "heartbeat", "label": "lbm", "workload": "lbm",
+     "backend": "detailed", "phase": "stalled", "attempt": 1, "pid": 7,
+     "cycles": 65_536, "committed": 40_000, "stalled_for_s": 2.5,
+     "ts": 103.0},
+    {"kind": "heartbeat", "label": "lbm", "workload": "lbm",
+     "backend": "detailed", "phase": "done", "attempt": 1, "pid": 7,
+     "cycles": 100_000, "committed": 60_000, "ok": True, "ts": 104.0},
+    {"kind": "resources", "label": "lbm", "attempt": 1,
+     "max_rss_kb": 51_200.0, "cpu_user_s": 1.5, "cpu_sys_s": 0.25,
+     "wall_s": 2.0, "ts": 104.0},
     {"kind": "span", "name": "run:lbm", "ph": "X", "ts": 0, "dur": 5,
      "pid": 1, "tid": 1},
     {"kind": "counters", "name": "rates", "ph": "C", "ts": 0,
