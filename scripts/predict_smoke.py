@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI predict smoke: the analytical predictor end to end.
+
+Statically predicts every hand-built workload plus a few synthesized
+scenario seeds and asserts the smoke-gate invariants:
+
+* every program yields a validated ``tea-predict-v1`` document --
+  every basic block carries a non-empty bound set and a binding
+  bottleneck,
+* the whole sweep executes zero simulated cycles (the engine and the
+  execution backends must never load into the process),
+* the refine loop over a warm store produces a validated
+  ``tea-refine-v1`` document with zero refutations on the
+  compute-bound kernels the defaults are tuned for.
+
+Writes ``predict-smoke.json`` (per-program block/bottleneck summary
+plus the refine verdicts) for upload as a CI artifact. Exits non-zero
+on any violated invariant.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+#: Synthesized scenario seeds swept alongside the hand-built suite.
+SYNTH_SEEDS = (1, 7, 23)
+
+#: Kernels the refine loop must pass with zero refutations under the
+#: default (paper-baseline) port model.
+REFINE_CLEAN = ("nab", "cactuBSSN")
+
+#: Scale for the refine runs (matches tests/predict/test_refine.py:
+#: large enough that cold-start cycles do not dominate any block).
+REFINE_SCALE = 0.3
+
+OUT = Path("predict-smoke.json")
+
+
+def static_sweep() -> list[dict]:
+    """Predict the full suite; returns one summary row per program."""
+    from repro.predict import (
+        predict_program,
+        prediction_to_json,
+        validate_prediction_doc,
+    )
+    from repro.workloads import WORKLOAD_NAMES, build
+
+    programs = [build(name, scale=0.05).program for name in WORKLOAD_NAMES]
+    programs += [
+        build("synth", scale=0.05, seed=seed).program
+        for seed in SYNTH_SEEDS
+    ]
+    rows = []
+    for program in programs:
+        prediction = predict_program(program)
+        doc = validate_prediction_doc(prediction_to_json(prediction))
+        for block in doc["blocks"]:
+            assert block["bounds"], (program.name, block["leader"])
+            assert block["binding"]["kind"], (program.name, block["leader"])
+        rows.append(
+            {
+                "program": program.name,
+                "n_blocks": doc["summary"]["n_blocks"],
+                "weighted_cpi": doc["summary"]["weighted_cpi"],
+                "bottlenecks": doc["summary"]["bottlenecks"],
+            }
+        )
+        print(
+            f"predict {program.name}: {doc['summary']['n_blocks']} "
+            f"block(s), bottlenecks {doc['summary']['bottlenecks']}"
+        )
+    banned = [
+        m
+        for m in sys.modules
+        if m.startswith(("repro.backends", "repro.engine"))
+    ]
+    assert not banned, f"static sweep loaded the simulator: {banned}"
+    return rows
+
+
+def refine_sweep() -> list[dict]:
+    """Refine the clean kernels over a shared store; returns verdicts."""
+    from repro.engine import Engine, RunSpec, RunStore
+    from repro.predict import validate_refine_doc
+    from repro.predict.refine import refine_spec
+
+    store_root = Path("/tmp/tea-predict-smoke-store")
+    engine = Engine(store=RunStore(store_root))
+    rows = []
+    for name in REFINE_CLEAN:
+        spec = RunSpec.make(name, scale=REFINE_SCALE, techniques=())
+        report = refine_spec(spec, engine=engine)
+        doc = validate_refine_doc(
+            json.loads(json.dumps(report.to_json()))
+        )
+        assert doc["ok"], (
+            f"{name}: unexpected refutations on the default model: "
+            f"{[r['message'] for r in doc['refutations']]}"
+        )
+        rows.append(doc)
+        print(
+            f"refine {name}: ok over {doc['total_cycles']} cycles, "
+            f"{len(doc['blocks'])} block comparison(s)"
+        )
+    # Served from the now-warm store: must not re-simulate.
+    warm = refine_spec(
+        RunSpec.make(REFINE_CLEAN[0], scale=REFINE_SCALE, techniques=()),
+        engine=Engine(store=RunStore(store_root)),
+    )
+    assert warm.ok
+    print(f"refine {REFINE_CLEAN[0]}: warm-store re-run ok")
+    return rows
+
+
+def main() -> int:
+    static_rows = static_sweep()
+    refine_rows = refine_sweep()
+    OUT.write_text(
+        json.dumps(
+            {"static": static_rows, "refine": refine_rows}, indent=2
+        )
+        + "\n"
+    )
+    print(f"wrote {OUT} ({len(static_rows)} static predictions)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,11 @@ from repro.analysis.findings import Finding
 #: Default baseline file name, looked up at the lint root.
 DEFAULT_BASELINE_NAME = "tealint-baseline.json"
 
+#: Reason written for new entries when ``--update-baseline`` runs
+#: without ``--reason``. Entries still carrying it are reported as
+#: warnings on every lint run until a human justifies them.
+PLACEHOLDER_REASON = "TODO: justify or fix"
+
 
 @dataclass
 class Baseline:
@@ -105,9 +110,15 @@ class Baseline:
         cls,
         findings: Iterable[Finding],
         reasons: dict[tuple[str, str, str], str] | None = None,
-        default_reason: str = "TODO: justify or fix",
+        default_reason: str = PLACEHOLDER_REASON,
     ) -> "Baseline":
-        """A baseline grandfathering *findings* (``--update-baseline``)."""
+        """A baseline grandfathering *findings* (``--update-baseline``).
+
+        Existing entries keep their recorded reason; new entries get
+        *default_reason* (the ``--reason`` flag). Without one they
+        carry :data:`PLACEHOLDER_REASON`, which every subsequent lint
+        run reports as a warning until it is justified.
+        """
         reasons = reasons or {}
         entries: dict[tuple[str, str, str], str] = {}
         for finding in findings:
@@ -115,6 +126,14 @@ class Baseline:
                 finding.key, default_reason
             )
         return cls(entries=entries)
+
+    def placeholder_keys(self) -> list[tuple[str, str, str]]:
+        """Entries still carrying the unjustified placeholder reason."""
+        return sorted(
+            key
+            for key, reason in self.entries.items()
+            if reason == PLACEHOLDER_REASON
+        )
 
     def to_json(self) -> dict[str, Any]:
         """Counts for the JSON reporter."""

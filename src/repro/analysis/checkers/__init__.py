@@ -6,6 +6,7 @@ from repro.analysis.checkers import (  # noqa: F401
     mirror,
     model_version,
     obs_overhead,
+    predict_purity,
     slots,
     worker_safety,
 )

@@ -1,0 +1,86 @@
+"""TL008 predict purity: the static predictor never simulates.
+
+``repro.predict``'s value proposition is an *instant* answer: bounds
+and bottlenecks computed from program structure and the core
+configuration alone, with zero simulator execution. That property is
+structural, so it is enforced structurally -- no module of the
+package may import the cycle-level core (``repro.uarch.core``), the
+execution backends (``repro.backends``), or the run engine
+(``repro.engine``). Reading the *configuration* (``repro.uarch
+.config``) is of course allowed: the port mapping is derived from it.
+
+``repro.predict.refine`` is the deliberate exception: it is the
+CounterPoint-style escalation tier whose whole job is running the
+cycle model and diffing it against the static claims, so it may (and
+must) import the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.module import ModuleSource
+from repro.analysis.registry import Rule, checker
+
+#: The package held simulation-free.
+PREDICT_PACKAGE = "repro.predict"
+
+#: Modules exempt from the rule: the refine loop is the escalation
+#: tier and exists to run the simulator.
+EXEMPT_MODULES = ("repro.predict.refine",)
+
+#: Dotted prefixes the predict path may not import.
+FORBIDDEN_PREFIXES = (
+    "repro.uarch.core",
+    "repro.backends",
+    "repro.engine",
+)
+
+
+def _forbidden(name: str | None) -> str | None:
+    if name is None:
+        return None
+    for prefix in FORBIDDEN_PREFIXES:
+        if name == prefix or name.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@checker(
+    Rule(
+        "TL008",
+        "predict-purity",
+        "repro.predict (except refine) must not import the simulator "
+        "(repro.uarch.core, repro.backends, repro.engine)",
+    )
+)
+def check_predict_purity(
+    module: ModuleSource,
+) -> Iterator[tuple[int, int, str, str]]:
+    name = module.module_name
+    if not module.in_package(PREDICT_PACKAGE):
+        return
+    if name in EXEMPT_MODULES:
+        return
+    for node in ast.walk(module.tree):
+        offenders: list[str] = []
+        if isinstance(node, ast.Import):
+            offenders = [
+                alias.name
+                for alias in node.names
+                if _forbidden(alias.name)
+            ]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if _forbidden(node.module):
+                offenders = [node.module or ""]
+        for offender in offenders:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"predict module {name} imports {offender}",
+                "the static predict path must stay simulation-free "
+                "by construction; simulator-coupled comparison logic "
+                "belongs in repro.predict.refine (the escalation "
+                "tier), which is exempt",
+            )

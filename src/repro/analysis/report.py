@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding, LintResult
 from repro.analysis.runner import rule_catalogue
 
@@ -19,7 +20,11 @@ def _render_finding(finding: Finding) -> str:
     return line
 
 
-def render_text(result: LintResult, verbose: bool = False) -> str:
+def render_text(
+    result: LintResult,
+    verbose: bool = False,
+    baseline: Baseline | None = None,
+) -> str:
     """Human-readable report, one line per finding."""
     lines = [_render_finding(f) for f in result.findings]
     if verbose:
@@ -36,6 +41,14 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             f"note: stale baseline entry {rule} at {path}:{symbol} "
             f"matched nothing -- delete it"
         )
+    if baseline is not None:
+        # Non-gating: placeholder entries nag but never fail the run.
+        for rule, path, symbol in baseline.placeholder_keys():
+            lines.append(
+                f"warning: baseline entry {rule} at {path}:{symbol} "
+                f"still carries the placeholder reason -- justify it "
+                f"(lint --update-baseline --reason TEXT) or fix it"
+            )
     summary = (
         f"tea-lint: {len(result.findings)} finding(s) in "
         f"{result.files_checked} file(s)"
@@ -51,8 +64,13 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
+def render_json(
+    result: LintResult, baseline: Baseline | None = None
+) -> str:
     """Machine-readable report (the ``--json`` flag and CI artifact)."""
+    placeholders = (
+        baseline.placeholder_keys() if baseline is not None else []
+    )
     doc: dict[str, Any] = {
         "version": 1,
         "files_checked": result.files_checked,
@@ -61,7 +79,12 @@ def render_json(result: LintResult) -> str:
             "baselined": len(result.baselined),
             "suppressed": len(result.suppressed),
             "stale_baseline": len(result.unused_baseline),
+            "placeholder_baseline": len(placeholders),
         },
+        "placeholder_baseline": [
+            {"rule": rule, "path": path, "symbol": symbol}
+            for rule, path, symbol in placeholders
+        ],
         "findings": [f.to_json() for f in result.findings],
         "baselined": [f.to_json() for f in result.baselined],
         "stale_baseline": [

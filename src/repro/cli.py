@@ -290,17 +290,32 @@ def cmd_lint(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.update_baseline:
+        from repro.analysis.baseline import PLACEHOLDER_REASON
+
         refreshed = Baseline.from_findings(
             result.findings + result.baselined,
             reasons=baseline.entries,
+            default_reason=args.reason or PLACEHOLDER_REASON,
         )
         refreshed.save(baseline_path)
         print(
             f"wrote {baseline_path} "
             f"({len(refreshed.entries)} entr(y/ies))"
         )
+        placeholders = refreshed.placeholder_keys()
+        if placeholders:
+            print(
+                f"warning: {len(placeholders)} entr(y/ies) carry the "
+                f"placeholder reason; rerun with --reason TEXT or "
+                f"edit {baseline_path}",
+                file=sys.stderr,
+            )
         return 0
-    print(render_json(result) if args.json else render_text(result))
+    print(
+        render_json(result, baseline=baseline)
+        if args.json
+        else render_text(result, baseline=baseline)
+    )
     return result.exit_code
 
 
@@ -581,17 +596,71 @@ def cmd_profile(args) -> int:
 def cmd_advise(args) -> int:
     """``tea-repro advise <workload>``: rule-based recommendations."""
     from repro.core.advisor import advise, render_findings
+    from repro.predict import predict_program
 
     workload = parse_workload_spec(args.workload, args.scale)
     result, sampler = _profile_workload(workload, "TEA", args.period)
+    # The static prediction is free (no simulation); findings cite
+    # the predictor's binding bottleneck per implicated block.
+    prediction = predict_program(workload.program)
     findings = advise(
-        sampler.profile(), workload.program, threshold=args.threshold
+        sampler.profile(),
+        workload.program,
+        threshold=args.threshold,
+        prediction=prediction,
     )
     print(
         f"{workload.name}: {result.cycles:,} cycles, "
         f"{len(findings)} finding(s)\n"
     )
     print(render_findings(findings, workload.program))
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """``tea-repro predict``: analytical bounds, optionally refined."""
+    from repro.predict import (
+        predict_program,
+        prediction_to_json,
+        render_prediction,
+    )
+
+    workload = parse_workload_spec(args.workload, args.scale)
+    prediction = predict_program(workload.program)
+    if not args.refine:
+        if args.json:
+            print(json.dumps(prediction_to_json(prediction), indent=2))
+        else:
+            print(render_prediction(prediction, top=args.top))
+        return 0
+
+    # Escalation tier: diff the prediction against the cycle model
+    # through the engine (a warm store makes this free).
+    from repro.engine.spec import RunSpec
+    from repro.predict.refine import refine_spec
+
+    if args.workload.endswith(".asm"):
+        raise SystemExit(
+            "predict --refine works on registered workloads (runs are "
+            "keyed by RunSpec); .asm files support static prediction "
+            "only"
+        )
+    name, kwargs = parse_workload_fields(args.workload)
+    spec = RunSpec.make(
+        name, kwargs, scale=args.scale, period=args.period
+    )
+    engine = make_engine(args)
+    report = refine_spec(
+        spec,
+        engine=engine,
+        threshold=args.threshold,
+        min_share=args.min_share,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    _finish_obs(args, engine)
     return 0
 
 
@@ -1195,6 +1264,38 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum share of time per finding (default 0.05)",
     )
 
+    predict_parser = sub.add_parser(
+        "predict",
+        help="analytical throughput prediction (no simulation); "
+        "--refine diffs it against the cycle model",
+    )
+    predict_parser.add_argument(
+        "workload", help="workload spec or .asm file"
+    )
+    predict_parser.add_argument(
+        "--refine", action="store_true",
+        help="run the cycle model and refute failed assumptions "
+        "(CounterPoint-style; a warm store makes this free)",
+    )
+    predict_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report",
+    )
+    predict_parser.add_argument(
+        "--top", type=int, default=0, metavar="N",
+        help="show only the N largest blocks (default: all)",
+    )
+    predict_parser.add_argument(
+        "--threshold", type=float, default=0.6,
+        help="relative CPI error that refutes an assumption "
+        "(--refine, default 0.6)",
+    )
+    predict_parser.add_argument(
+        "--min-share", type=float, default=0.05,
+        help="minimum share of cycles a block needs to be judged "
+        "(--refine, default 0.05)",
+    )
+
     diff_parser = sub.add_parser(
         "diff", help="diff the PICS of two workload variants"
     )
@@ -1360,6 +1461,12 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite the baseline from the current findings "
         "(existing reasons are kept)",
+    )
+    lint_parser.add_argument(
+        "--reason", default=None, metavar="TEXT",
+        help="justification recorded for entries newly added by "
+        "--update-baseline (otherwise they carry a placeholder that "
+        "is warned about on every run)",
     )
     lint_parser.add_argument(
         "--rule", action="append", metavar="ID",
@@ -1531,6 +1638,8 @@ def _dispatch(args) -> int:
         return cmd_profile(args)
     if args.command == "advise":
         return cmd_advise(args)
+    if args.command == "predict":
+        return cmd_predict(args)
     if args.command == "diff":
         return cmd_diff(args)
     if args.command == "query":

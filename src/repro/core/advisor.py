@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Hashable
+from typing import TYPE_CHECKING
 
 from repro.core.events import Event
 from repro.core.pics import PicsProfile
@@ -26,6 +27,9 @@ from repro.isa.opcodes import (
     Opcode,
 )
 from repro.isa.program import Program
+
+if TYPE_CHECKING:  # layering: the advisor only annotates predictions
+    from repro.predict.analyzer import ProgramPrediction
 
 
 @dataclass
@@ -73,10 +77,39 @@ def _share_with(
     )
 
 
+def cite_predictions(
+    findings: list[Finding],
+    prediction: "ProgramPrediction",
+) -> list[Finding]:
+    """Annotate findings with the static predictor's view of the block.
+
+    For each finding whose top implicated instruction falls in a block
+    the analytical predictor analysed, the explanation gains the
+    block's binding bottleneck and predicted CPI -- the measured
+    symptom plus the model's structural account of the same block.
+    Returns *findings* (annotated in place) for chaining.
+    """
+    for finding in findings:
+        units = [u for u in finding.units if isinstance(u, int)]
+        if not units:
+            continue
+        try:
+            block = prediction.block_of(units[0])
+        except (KeyError, IndexError):
+            continue
+        finding.explanation += (
+            f" Static predictor: block @{block.leader} is "
+            f"{block.binding.kind}-bound ({block.binding.detail}), "
+            f"predicted {block.cpi:.2f} CPI."
+        )
+    return findings
+
+
 def advise(
     profile: PicsProfile,
     program: Program,
     threshold: float = 0.05,
+    prediction: "ProgramPrediction | None" = None,
 ) -> list[Finding]:
     """Analyse an instruction-granularity profile and emit findings.
 
@@ -84,6 +117,10 @@ def advise(
         profile: An instruction-granularity PICS profile.
         program: The profiled program (for opcode context).
         threshold: Minimum share of total time a pattern must hold.
+        prediction: Optional static prediction of the same program
+            (see :func:`repro.predict.predict_program`); when given,
+            findings cite the predictor's binding bottleneck for the
+            blocks they implicate.
 
     Returns:
         Findings sorted by severity (largest first).
@@ -300,6 +337,8 @@ def advise(
         )
 
     findings.sort(key=lambda f: -f.severity)
+    if prediction is not None:
+        cite_predictions(findings, prediction)
     return findings
 
 

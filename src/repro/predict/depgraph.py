@@ -1,0 +1,182 @@
+"""Register dependency graphs over one basic block.
+
+Two edge families matter for the analytical bounds:
+
+* *intra-iteration* edges -- a consumer reads a register whose latest
+  writer sits earlier in the same block. These bound one pass through
+  the block (the critical path).
+* *loop-carried* edges -- for self-loop blocks only: a consumer reads a
+  register whose only writer in the block sits at or after it, i.e.
+  the value arrives from the previous iteration. Distance-1 cycles
+  through these edges bound the steady-state iteration time (the
+  recurrence), exactly the ``LCD`` of OSACA-style analysis.
+
+Registers are tracked by their encoded numbers; ``x0`` is hard-wired
+zero, so reads of it never depend on anything and writes to it produce
+nothing. Memory-carried dependencies (store-to-load through the same
+address) are *not* modelled -- a documented bias the refine loop can
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import NO_REG, StaticInst
+from repro.predict.ports import InstCost
+
+#: Encoded register number of the hard-wired zero register.
+ZERO_REG = 0
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """One register dependency between two block positions.
+
+    Attributes:
+        src: Block-local position of the producer.
+        dst: Block-local position of the consumer.
+        reg: Encoded register carrying the value.
+        loop_carried: True when the value crosses an iteration
+            boundary (producer position >= consumer position).
+    """
+
+    src: int
+    dst: int
+    reg: int
+    loop_carried: bool
+
+
+@dataclass
+class BlockDepGraph:
+    """Dependency structure of one basic block.
+
+    Attributes:
+        insts: The block's instructions, in program order.
+        costs: Matching :class:`InstCost` per instruction.
+        edges: All register dependency edges.
+    """
+
+    insts: tuple[StaticInst, ...]
+    costs: tuple[InstCost, ...]
+    edges: tuple[DepEdge, ...]
+
+    @classmethod
+    def build(
+        cls,
+        insts: tuple[StaticInst, ...],
+        costs: tuple[InstCost, ...],
+        loop: bool,
+    ) -> BlockDepGraph:
+        """Build the graph for a block; *loop* enables carried edges."""
+        last_writer: dict[int, int] = {}
+        any_writer: dict[int, int] = {}
+        for pos, inst in enumerate(insts):
+            if inst.rd not in (NO_REG, ZERO_REG):
+                any_writer[inst.rd] = pos  # latest wins
+        edges: list[DepEdge] = []
+        for pos, inst in enumerate(insts):
+            for reg in inst.sources():
+                if reg == ZERO_REG:
+                    continue
+                if reg in last_writer:
+                    edges.append(
+                        DepEdge(last_writer[reg], pos, reg, False)
+                    )
+                elif loop and reg in any_writer:
+                    # No writer before this read: the value is the
+                    # previous iteration's (written at or after pos).
+                    edges.append(
+                        DepEdge(any_writer[reg], pos, reg, True)
+                    )
+            if inst.rd not in (NO_REG, ZERO_REG):
+                last_writer[inst.rd] = pos
+        return cls(insts=insts, costs=costs, edges=tuple(edges))
+
+    # ------------------------------------------------------------------
+    # Bounds.
+    # ------------------------------------------------------------------
+    def _intra_preds(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {}
+        for edge in self.edges:
+            if not edge.loop_carried:
+                preds.setdefault(edge.dst, []).append(edge.src)
+        return preds
+
+    def critical_path(self) -> tuple[float, tuple[int, ...]]:
+        """Longest latency chain through one pass of the block.
+
+        Returns:
+            ``(cycles, chain)`` where *chain* is the block-local
+            positions on the path, in program order. Completion-time
+            semantics: the chain length is the sum of the producer
+            latencies plus the final consumer's own latency.
+        """
+        preds = self._intra_preds()
+        finish: list[float] = []
+        best_pred: list[int | None] = []
+        for pos in range(len(self.insts)):
+            lat = float(self.costs[pos].latency)
+            start, chosen = 0.0, None
+            for p in preds.get(pos, ()):
+                if finish[p] > start:
+                    start, chosen = finish[p], p
+            finish.append(start + lat)
+            best_pred.append(chosen)
+        if not finish:
+            return 0.0, ()
+        end = max(range(len(finish)), key=lambda i: finish[i])
+        chain: list[int] = []
+        node: int | None = end
+        while node is not None:
+            chain.append(node)
+            node = best_pred[node]
+        return finish[end], tuple(reversed(chain))
+
+    def recurrence(self) -> tuple[float, tuple[int, ...]]:
+        """Longest distance-1 dependency cycle, in cycles per iteration.
+
+        For every loop-carried edge ``u -> v`` the cycle closes through
+        the longest intra-iteration path ``v -> u``; its per-iteration
+        cost is the sum of every node latency on ``v..u`` inclusive.
+        Loop-carried edges with no intra path back (dependence chains
+        spanning several iterations) do not form a distance-1 cycle
+        and are ignored.
+
+        Returns:
+            ``(cycles, chain)``; ``(0.0, ())`` when no cycle exists.
+        """
+        preds = self._intra_preds()
+        best, best_chain = 0.0, ()
+        for edge in self.edges:
+            if not edge.loop_carried:
+                continue
+            u, v = edge.src, edge.dst
+            if u == v:
+                length = float(self.costs[u].latency)
+                chain: tuple[int, ...] = (u,)
+            else:
+                # acc[w]: max latency sum over intra paths v..w,
+                # counting every node strictly before w. Positions are
+                # already a topological order (intra edges go forward).
+                acc: dict[int, float] = {v: 0.0}
+                back: dict[int, int] = {}
+                for w in range(v + 1, len(self.insts)):
+                    for p in preds.get(w, ()):
+                        if p not in acc:
+                            continue
+                        cand = acc[p] + float(self.costs[p].latency)
+                        if w not in acc or cand > acc[w]:
+                            acc[w], back[w] = cand, p
+                if u not in acc:
+                    continue
+                length = acc[u] + float(self.costs[u].latency)
+                nodes = [u]
+                while nodes[-1] in back:
+                    nodes.append(back[nodes[-1]])
+                if nodes[-1] != v:
+                    nodes.append(v)
+                chain = tuple(reversed(nodes))
+            if length > best:
+                best, best_chain = length, chain
+        return best, best_chain

@@ -1,0 +1,247 @@
+"""Rendering and validation of prediction / refine reports.
+
+Two document schemas leave this package:
+
+* ``tea-predict-v1`` -- the static analysis result: per-block bounds,
+  binding bottleneck, predicted CPI, commit-state decomposition.
+* ``tea-refine-v1`` -- the CounterPoint-style comparison: per-block
+  predicted vs measured CPI plus structured refutations.
+
+The validators work on plain dicts so CI and tests can check artifacts
+without constructing analyzer objects (and without this module ever
+importing the simulator).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.predict.analyzer import (
+    Bound,
+    ProgramPrediction,
+)
+
+PREDICT_SCHEMA = "tea-predict-v1"
+REFINE_SCHEMA = "tea-refine-v1"
+
+#: Bound kinds a valid document may carry.
+BOUND_KINDS = (
+    "throughput",
+    "latency",
+    "capacity",
+    "commit",
+    "frontend",
+    "flush",
+)
+
+
+def _bound_to_json(bound: Bound) -> dict[str, Any]:
+    return {
+        "name": bound.name,
+        "kind": bound.kind,
+        "cycles": bound.cycles,
+        "detail": bound.detail,
+        "insts": list(bound.insts),
+    }
+
+
+def prediction_to_json(pred: ProgramPrediction) -> dict[str, Any]:
+    """Serialize a :class:`ProgramPrediction` to the v1 document."""
+    config = pred.model.config
+    blocks = []
+    for block in pred.blocks.values():
+        blocks.append(
+            {
+                "leader": block.leader,
+                "end": block.end,
+                "function": block.function,
+                "size": block.size,
+                "is_loop": block.is_loop,
+                "cycles": block.cycles,
+                "cpi": block.cpi,
+                "binding": _bound_to_json(block.binding),
+                "bounds": [_bound_to_json(b) for b in block.bounds],
+                "queue_pressure": dict(block.queue_pressure),
+                "critical_path": block.critical_path,
+                "recurrence": block.recurrence,
+                "states": dict(block.states),
+            }
+        )
+    return {
+        "schema": PREDICT_SCHEMA,
+        "program": pred.program.name,
+        "config": {
+            "commit_width": config.commit_width,
+            "decode_width": config.decode_width,
+            "issue_width": dict(config.issue_width),
+            "rob_entries": config.rob_entries,
+            "l1d_latency": config.memory.l1d_latency,
+        },
+        "blocks": blocks,
+        "summary": {
+            "n_blocks": len(blocks),
+            "weighted_cpi": pred.weighted_cpi,
+            "bottlenecks": pred.bottlenecks,
+        },
+    }
+
+
+def render_prediction(pred: ProgramPrediction, top: int = 0) -> str:
+    """Human-readable table of the per-block predictions.
+
+    Args:
+        pred: The prediction to render.
+        top: Show only the *top* largest-cycle blocks (0 = all).
+    """
+    program = pred.program
+    blocks = sorted(
+        pred.blocks.values(), key=lambda b: (-b.cycles, b.leader)
+    )
+    if top > 0:
+        blocks = blocks[:top]
+    lines = [
+        f"{pred.program.name}: {len(pred.blocks)} block(s), "
+        f"size-weighted CPI {pred.weighted_cpi:.2f}",
+        f"{'block':>7} {'fn':<12} {'n':>3} {'loop':>4} "
+        f"{'cyc/pass':>8} {'cpi':>6}  binding",
+    ]
+    for block in blocks:
+        loop = "yes" if block.is_loop else "-"
+        culprits = ", ".join(
+            program[i].disasm() for i in block.binding.insts[:3]
+        )
+        if len(block.binding.insts) > 3:
+            culprits += ", ..."
+        lines.append(
+            f"{block.leader:>7} {block.function[:12]:<12} "
+            f"{block.size:>3} {loop:>4} {block.cycles:>8.2f} "
+            f"{block.cpi:>6.2f}  {block.binding.name} "
+            f"({block.binding.detail})"
+        )
+        if culprits:
+            lines.append(f"{'':>7} {'':<12} {'':>3} {'':>4} "
+                         f"{'':>8} {'':>6}  `- {culprits}")
+    hist = ", ".join(
+        f"{kind}: {count}" for kind, count in pred.bottlenecks.items()
+    )
+    lines.append(f"bottlenecks: {hist}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Document validation (plain dicts; used by CI and tests).
+# ----------------------------------------------------------------------
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"invalid report at {path}: {message}")
+
+
+def _check_number(doc: dict, key: str, path: str) -> None:
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(f"{path}.{key}", f"expected a number, got {value!r}")
+    if not math.isfinite(value) or value < 0:
+        _fail(f"{path}.{key}", f"expected a finite value >= 0, got {value}")
+
+
+def _check_bound(bound: Any, path: str) -> None:
+    if not isinstance(bound, dict):
+        _fail(path, "expected a bound object")
+    for key in ("name", "kind", "detail"):
+        if not isinstance(bound.get(key), str) or not bound[key]:
+            _fail(f"{path}.{key}", "expected a non-empty string")
+    if bound["kind"] not in BOUND_KINDS:
+        _fail(f"{path}.kind", f"unknown bound kind {bound['kind']!r}")
+    _check_number(bound, "cycles", path)
+    if not isinstance(bound.get("insts"), list):
+        _fail(f"{path}.insts", "expected a list of indices")
+
+
+def validate_prediction_doc(doc: dict[str, Any]) -> dict[str, Any]:
+    """Validate a ``tea-predict-v1`` document; returns it unchanged.
+
+    Every block must carry a non-empty bound set, a binding
+    bottleneck, and finite non-negative cycle counts -- the CI smoke
+    gate's definition of "every block gets a bound + bottleneck".
+
+    Raises:
+        ValueError: Describing the first problem found.
+    """
+    if doc.get("schema") != PREDICT_SCHEMA:
+        _fail("schema", f"expected {PREDICT_SCHEMA!r}")
+    blocks = doc.get("blocks")
+    if not isinstance(blocks, list) or not blocks:
+        _fail("blocks", "expected a non-empty list")
+    for i, block in enumerate(blocks):
+        path = f"blocks[{i}]"
+        if not isinstance(block, dict):
+            _fail(path, "expected a block object")
+        for key in ("cycles", "cpi", "critical_path", "recurrence"):
+            _check_number(block, key, path)
+        if not isinstance(block.get("size"), int) or block["size"] < 1:
+            _fail(f"{path}.size", "expected a positive instruction count")
+        bounds = block.get("bounds")
+        if not isinstance(bounds, list) or not bounds:
+            _fail(f"{path}.bounds", "expected a non-empty bound list")
+        for j, bound in enumerate(bounds):
+            _check_bound(bound, f"{path}.bounds[{j}]")
+        _check_bound(block.get("binding"), f"{path}.binding")
+        states = block.get("states")
+        if not isinstance(states, dict) or not states:
+            _fail(f"{path}.states", "expected a state decomposition")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        _fail("summary", "expected a summary object")
+    _check_number(summary, "weighted_cpi", "summary")
+    if summary.get("n_blocks") != len(blocks):
+        _fail("summary.n_blocks", "does not match the block list")
+    return doc
+
+
+def validate_refine_doc(doc: dict[str, Any]) -> dict[str, Any]:
+    """Validate a ``tea-refine-v1`` document; returns it unchanged.
+
+    Raises:
+        ValueError: Describing the first problem found.
+    """
+    if doc.get("schema") != REFINE_SCHEMA:
+        _fail("schema", f"expected {REFINE_SCHEMA!r}")
+    for key in ("workload", "spec_key"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            _fail(key, "expected a non-empty string")
+    _check_number(doc, "threshold", "")
+    _check_number(doc, "min_share", "")
+    comparisons = doc.get("blocks")
+    if not isinstance(comparisons, list) or not comparisons:
+        _fail("blocks", "expected a non-empty comparison list")
+    for i, row in enumerate(comparisons):
+        path = f"blocks[{i}]"
+        if not isinstance(row, dict):
+            _fail(path, "expected a comparison object")
+        for key in ("predicted_cpi", "share"):
+            _check_number(row, key, path)
+        if not isinstance(row.get("refuted"), bool):
+            _fail(f"{path}.refuted", "expected a boolean")
+    refutations = doc.get("refutations")
+    if not isinstance(refutations, list):
+        _fail("refutations", "expected a list")
+    for i, ref in enumerate(refutations):
+        path = f"refutations[{i}]"
+        if not isinstance(ref, dict):
+            _fail(path, "expected a refutation object")
+        for key in ("assumption", "message"):
+            if not isinstance(ref.get(key), str) or not ref[key]:
+                _fail(f"{path}.{key}", "expected a non-empty string")
+        if not isinstance(ref.get("evidence"), dict):
+            _fail(f"{path}.evidence", "expected an evidence object")
+    if not isinstance(doc.get("ok"), bool):
+        _fail("ok", "expected a boolean")
+    if doc["ok"] != (len(refutations) == 0):
+        _fail("ok", "inconsistent with the refutation list")
+    return doc
+
+
+def dump_report(doc: dict[str, Any]) -> str:
+    """Canonical JSON text for a report document."""
+    return json.dumps(doc, indent=2, sort_keys=False)

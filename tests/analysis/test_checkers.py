@@ -277,6 +277,67 @@ class TestBackendPurityTL007:
         assert result.findings == []
 
 
+class TestPredictPurityTL008:
+    BAD = (
+        "import repro.uarch.core\n"
+        "from repro.backends import make_backend\n"
+        "from repro.engine import Engine\n"
+        "from repro.uarch.config import CoreConfig\n"
+        "from repro.isa.program import Program\n"
+    )
+
+    def test_predict_modules_may_not_import_the_simulator(self):
+        result = lint_source(
+            self.BAD, path="src/repro/predict/fake.py", rules=["TL008"]
+        )
+        assert rules_of(result) == ["TL008"] * 3
+        messages = " | ".join(f.message for f in result.findings)
+        assert "repro.uarch.core" in messages
+        assert "repro.backends" in messages
+        assert "repro.engine" in messages
+        # Reading the configuration is allowed: the port mapping is
+        # derived from it.
+        assert "repro.uarch.config" not in messages
+
+    def test_refine_is_the_exempt_escalation_tier(self):
+        result = lint_source(
+            self.BAD,
+            path="src/repro/predict/refine.py",
+            rules=["TL008"],
+        )
+        assert result.findings == []
+
+    def test_submodule_imports_are_caught(self):
+        result = lint_source(
+            "from repro.engine.spec import RunSpec\n",
+            path="src/repro/predict/fake.py",
+            rules=["TL008"],
+        )
+        assert rules_of(result) == ["TL008"]
+        assert "escalation" in result.findings[0].hint
+
+    def test_unrelated_packages_are_exempt(self):
+        result = lint_source(
+            self.BAD, path="src/repro/core/fake.py", rules=["TL008"]
+        )
+        assert result.findings == []
+
+    def test_real_predict_package_is_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_paths
+
+        from tests.analysis.conftest import REPO_ROOT
+
+        root = Path(REPO_ROOT)
+        targets = sorted(
+            (root / "src/repro/predict").glob("*.py")
+        )
+        assert targets, "predict package not found"
+        result = lint_paths(targets, root=root, rules=["TL008"])
+        assert result.findings == []
+
+
 class TestModelVersionTL006:
     def test_repo_pins_are_consistent(self):
         from tests.analysis.conftest import REPO_ROOT

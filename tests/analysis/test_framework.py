@@ -176,14 +176,14 @@ class TestReporters:
         assert doc["findings"][0]["rule"] == "TL003"
         assert {r["id"] for r in doc["rules"]} == {
             "TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
-            "TL007",
+            "TL007", "TL008",
         }
 
     def test_rule_catalogue_is_complete(self):
         ids = {r["id"] for r in rule_catalogue()}
         assert ids == {
             "TL001", "TL002", "TL003", "TL004", "TL005", "TL006",
-            "TL007",
+            "TL007", "TL008",
         }
 
 

@@ -93,3 +93,84 @@ def test_iteration_and_indexing():
     p = build_simple()
     assert len(list(p)) == len(p) == 5
     assert p[4].op == Opcode.HALT
+
+
+def test_single_instruction_program():
+    b = ProgramBuilder("tiny")
+    b.halt()
+    p = b.build()
+    assert len(p) == 1
+    assert p.bb_of(0) == 0
+    assert p.func_of(0) == "main"
+    assert p.basic_blocks == (0,)
+    assert [f.name for f in p.functions] == ["main"]
+    assert p.functions[0].start == 0
+    assert p.functions[0].end == 1
+
+
+def test_branch_as_last_instruction_before_halt():
+    # A branch whose fall-through is the final HALT: the post-branch
+    # leader is the last index, not one past the end.
+    b = ProgramBuilder("p")
+    b.label("top")  # 0
+    b.addi("x1", "x1", -1)  # 0
+    b.bne("x1", "x0", "top")  # 1
+    b.halt()  # 2
+    p = b.build()
+    assert p.bb_of(0) == 0
+    assert p.bb_of(1) == 0
+    assert p.bb_of(2) == 2
+
+
+def test_halt_as_final_instruction_adds_no_leader():
+    # HALT at the very end must not register an out-of-range leader.
+    b = ProgramBuilder("p")
+    b.nop()  # 0
+    b.halt()  # 1
+    p = b.build()
+    assert p.basic_blocks == (0, 0)
+
+
+def test_back_to_back_branches_each_end_a_block():
+    b = ProgramBuilder("p")
+    b.label("a")  # 0
+    b.nop()  # 0
+    b.beq("x1", "x0", "a")  # 1
+    b.bne("x2", "x0", "a")  # 2  (leader: follows a branch)
+    b.nop()  # 3  (leader: follows a branch)
+    b.halt()  # 4
+    p = b.build()
+    assert p.bb_of(0) == 0
+    assert p.bb_of(1) == 0
+    assert p.bb_of(2) == 2
+    assert p.bb_of(3) == 3
+    assert p.bb_of(4) == 3
+    assert p.branch_indices == {1, 2}
+
+
+def test_bb_of_and_func_of_boundary_indices():
+    b = ProgramBuilder("p")
+    b.nop()  # 0 (main)
+    b.function("f")
+    b.nop()  # 1 (f starts)
+    b.label("loop")  # 2
+    b.addi("x1", "x1", -1)  # 2
+    b.bne("x1", "x0", "loop")  # 3
+    b.halt()  # 4
+    p = b.build()
+    # First and last indices resolve without error.
+    assert p.bb_of(0) == 0
+    assert p.bb_of(len(p) - 1) == 4
+    assert p.func_of(0) == "main"
+    assert p.func_of(len(p) - 1) == "f"
+    # Function boundary: index 0 is main's last, index 1 is f's first.
+    assert p.func_of(1) == "f"
+    assert p.functions[0].end == 1
+    assert p.functions[1].start == 1
+    assert 1 in p.functions[1]
+    assert 1 not in p.functions[0]
+    # Out-of-range indices raise rather than aliasing a block.
+    with pytest.raises(IndexError):
+        p.bb_of(len(p))
+    with pytest.raises(IndexError):
+        p.func_of(len(p))

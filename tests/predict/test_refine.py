@@ -1,0 +1,131 @@
+"""Acceptance tests for the CounterPoint-style refine loop.
+
+The two properties the issue gates on:
+
+* correct defaults produce **zero** refutations on compute-bound
+  kernels (the static model holds within threshold), and
+* an injected mismodel -- a sabotaged FU latency table -- is flagged
+  as a structured refutation naming the failed assumption.
+"""
+
+import pytest
+
+from repro.engine import Engine, RunSpec
+from repro.isa.opcodes import OpClass
+from repro.predict import validate_refine_doc
+from repro.predict.ports import PortModel
+from repro.predict.refine import (
+    ASSUMPTIONS,
+    DEFAULT_THRESHOLD,
+    EVENT_ASSUMPTION,
+    refine_spec,
+)
+
+#: Compute-bound kernels the paper-baseline static model must survive.
+CLEAN_WORKLOADS = ("nab", "cactuBSSN")
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # One store-less engine for the whole module: each spec simulates
+    # once and is served from the memo afterwards.
+    return Engine()
+
+
+def spec_for(name: str) -> RunSpec:
+    # techniques=() skips the sampling passes: refine only needs the
+    # golden attribution.
+    return RunSpec.make(name, {}, scale=SCALE, techniques=())
+
+
+@pytest.mark.parametrize("name", CLEAN_WORKLOADS)
+def test_defaults_survive_on_compute_bound_kernels(engine, name):
+    report = refine_spec(spec_for(name), engine=engine)
+    assert report.ok, [r.message for r in report.refutations]
+    judged = [
+        b
+        for b in report.blocks
+        if b.measured_cpi is not None
+        and b.share >= report.min_share
+    ]
+    assert judged, "expected at least one significant block"
+    assert not any(b.refuted for b in report.blocks)
+
+
+def test_sabotaged_latency_table_is_refuted(engine):
+    # Injected mismodel: pretend every FP unit is single-cycle. The
+    # cycle model disagrees on nab's FP-heavy hot block, and the gap
+    # lands on the latency tables (no memory event explains it).
+    model = PortModel().sabotage(
+        {
+            OpClass.FP_ADD: 1,
+            OpClass.FP_MUL: 1,
+            OpClass.FP_DIV: 1,
+            OpClass.FP_SQRT: 1,
+        }
+    )
+    report = refine_spec(spec_for("nab"), engine=engine, model=model)
+    assert not report.ok
+    assert any(
+        r.assumption == "port-latency-model" for r in report.refutations
+    )
+    ref = report.refutations[0]
+    assert ref.predicted_cpi < ref.measured_cpi
+    assert ref.rel_error > report.threshold
+    assert ref.share >= report.min_share
+    assert ref.evidence, "refutations must carry measured evidence"
+    assert f"@{ref.leader}" in ref.message
+
+
+def test_memory_bound_kernel_refutes_the_l1_hit_assumption(engine):
+    # mcf is the paper's pointer-chasing kernel: loads do not hit the
+    # L1, so the default model's one explicit memory assumption fails
+    # with ST-L1/ST-LLC evidence attached.
+    report = refine_spec(spec_for("mcf"), engine=engine)
+    assert not report.ok
+    assumptions = {r.assumption for r in report.refutations}
+    assert "loads-hit-l1" in assumptions
+    ref = next(
+        r for r in report.refutations
+        if r.assumption == "loads-hit-l1"
+    )
+    assert any(
+        key.startswith("ST-") and share > 0
+        for key, share in ref.evidence.items()
+    )
+
+
+def test_report_document_validates_and_round_trips(engine):
+    import json
+
+    report = refine_spec(spec_for("nab"), engine=engine)
+    doc = validate_refine_doc(json.loads(json.dumps(report.to_json())))
+    assert doc["workload"] == "nab"
+    assert doc["ok"] is True
+    assert doc["threshold"] == DEFAULT_THRESHOLD
+    rendered = report.render()
+    assert "prediction vs cycle model" in rendered
+    assert "no refutations" in rendered
+
+
+def test_refuted_report_renders_the_assumption(engine):
+    model = PortModel().sabotage(
+        {
+            OpClass.FP_ADD: 1,
+            OpClass.FP_MUL: 1,
+            OpClass.FP_DIV: 1,
+            OpClass.FP_SQRT: 1,
+        }
+    )
+    report = refine_spec(spec_for("nab"), engine=engine, model=model)
+    rendered = report.render()
+    assert "REFUTED" in rendered
+    assert "port-latency-model" in rendered
+    assert "evidence:" in rendered
+
+
+def test_every_mapped_event_names_a_documented_assumption():
+    for assumption in EVENT_ASSUMPTION.values():
+        assert assumption in ASSUMPTIONS
